@@ -1,0 +1,19 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one table or figure of the paper.  Simulation
+results are deterministic, so a single round is meaningful; the benchmark
+timer then reports the harness' wall-clock cost.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run *fn* exactly once under the benchmark timer, return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once():
+    return run_once

@@ -1,0 +1,81 @@
+"""Ablation benchmarks: design choices and §7 future-work features."""
+
+from repro.bench.experiments.ablations import (ablation_buffer_size,
+                                               ablation_burst_coalescing,
+                                               ablation_flow_control,
+                                               ablation_gen5,
+                                               ablation_hbm,
+                                               ablation_multi_ssd,
+                                               ablation_ooo,
+                                               ablation_queue_depth)
+
+
+def test_a1_queue_depth(benchmark, once):
+    result = once(benchmark, ablation_queue_depth)
+    print("\n" + result.render())
+    spdk = {r.series: r.measured for r in result.rows if r.system == "spdk"}
+    snacc = {r.series: r.measured for r in result.rows if r.system == "uram"}
+    # both improve with queue depth (§5.2), but the in-order window keeps
+    # SNAcc strictly below SPDK at every depth
+    assert spdk["qd256"] > spdk["qd16"] * 1.5
+    for series in spdk:
+        assert snacc[series] < spdk[series]
+
+
+def test_a2_out_of_order_retirement(benchmark, once):
+    result = once(benchmark, ablation_ooo)
+    print("\n" + result.render())
+    in_order = result.row("rand_read", "in_order").measured
+    ooo = result.row("rand_read", "out_of_order").measured
+    # the §7 extension recovers a large part of the random-read gap
+    assert ooo > in_order * 1.3
+
+
+def test_a3_gen5_ssd(benchmark, once):
+    result = once(benchmark, ablation_gen5)
+    print("\n" + result.render())
+    for kind in ("seq_read", "seq_write"):
+        g4 = result.row(kind, "gen4").measured
+        g5 = result.row(kind, "gen5").measured
+        assert g5 > g4 * 1.6  # "doubling the bandwidth", minus overheads
+
+
+def test_a4_multi_ssd(benchmark, once):
+    result = once(benchmark, ablation_multi_ssd)
+    print("\n" + result.render())
+    one = result.row("aggregate_seq_write", "1_ssd").measured
+    two = result.row("aggregate_seq_write", "2_ssd").measured
+    assert two > one * 1.6  # near-linear aggregation
+
+
+def test_a5_burst_coalescing(benchmark, once):
+    result = once(benchmark, ablation_burst_coalescing)
+    print("\n" + result.render())
+    on = result.row("seq_write", "coalesced_4k").measured
+    off = result.row("seq_write", "uncoalesced_512").measured
+    assert off < on * 0.75  # §4.3: coalescing is load-bearing
+
+
+def test_a7_flow_control(benchmark, once):
+    result = once(benchmark, ablation_flow_control)
+    print("\n" + result.render())
+    assert result.row("frames_dropped", "flow_control_on").measured == 0
+    assert result.row("frames_dropped", "flow_control_off").measured > 0
+
+
+def test_a8_buffer_size(benchmark, once):
+    result = once(benchmark, ablation_buffer_size)
+    print("\n" + result.render())
+    rates = [r.measured for r in result.rows if r.series == "seq_read"]
+    # §5.2: "the smaller 4 MB URAM buffer poses no limitation on bandwidth"
+    assert max(rates) - min(rates) < 0.35
+
+
+def test_a6_hbm_buffer_banks(benchmark, once):
+    result = once(benchmark, ablation_hbm)
+    print("\n" + result.render())
+    shared = result.row("aggregate_seq_write", "shared_dram_ctrl").measured
+    banks = result.row("aggregate_seq_write", "independent_banks").measured
+    # §7: with one DRAM controller, "memory will become a bottleneck in
+    # multi-SSD setups"; independent banks restore near-linear scaling
+    assert banks > shared * 1.5

@@ -1,0 +1,19 @@
+"""Fig 4a: sequential NVMe read/write bandwidth, SNAcc vs SPDK."""
+
+from repro.bench.experiments.fig4 import run_fig4a
+from repro.units import MiB
+
+
+def test_fig4a_sequential_bandwidth(benchmark, once):
+    result = once(benchmark, run_fig4a, transfer_bytes=256 * MiB,
+                  repetitions=2)
+    print("\n" + result.render())
+    # who wins: host-DRAM matches SPDK on writes; all read ~the same
+    reads = {r.system: r.measured for r in result.rows
+             if r.series == "seq_read"}
+    writes = {r.system: r.measured for r in result.rows
+              if r.series == "seq_write"}
+    assert max(reads.values()) - min(reads.values()) < 0.6
+    assert writes["host_dram"] > writes["uram"] > writes["onboard_dram"]
+    assert abs(writes["host_dram"] - writes["spdk"]) < 0.3
+    assert result.all_in_band, result.render()

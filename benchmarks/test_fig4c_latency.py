@@ -1,0 +1,17 @@
+"""Fig 4c: single 4 KiB access latency."""
+
+from repro.bench.experiments.fig4 import run_fig4c
+
+
+def test_fig4c_latency(benchmark, once):
+    result = once(benchmark, run_fig4c, samples=60)
+    print("\n" + result.render())
+    rd = {r.system: r.measured for r in result.rows
+          if r.series == "read_latency_us"}
+    wr = {r.system: r.measured for r in result.rows
+          if r.series == "write_latency_us"}
+    # reads: URAM fastest, DRAM variants next, SPDK slowest
+    assert rd["uram"] < rd["onboard_dram"] < rd["host_dram"] < rd["spdk"]
+    # writes: everyone under 9 us
+    assert all(v < 9 for v in wr.values())
+    assert result.all_in_band, result.render()

@@ -1,0 +1,43 @@
+"""Figs 6 and 7: the image-classification case study (one run, two figures)."""
+
+import pytest
+
+from repro.bench.experiments.fig6_fig7 import (fig6_from_results,
+                                               fig7_from_results,
+                                               run_case_study_all)
+
+
+@pytest.fixture(scope="module")
+def case_results():
+    return run_case_study_all(n_images=32, warmup_images=6)
+
+
+def test_fig6_bandwidth(benchmark, once, case_results):
+    result = once(benchmark, fig6_from_results, case_results)
+    print("\n" + result.render())
+    bw = {r.system: r.measured for r in result.rows
+          if r.series == "bandwidth"}
+    # host-DRAM and SPDK lead; GPU in between; on-board DRAM last
+    assert bw["snacc-host_dram"] == max(bw.values())or \
+        bw["spdk"] == max(bw.values())
+    assert bw["snacc-onboard_dram"] == min(bw.values())
+    # CPU load: SNAcc idle, references pegged (§6.3)
+    cpu = {r.system: r.measured for r in result.rows if r.series == "cpu"}
+    for impl in ("snacc-uram", "snacc-onboard_dram", "snacc-host_dram"):
+        assert cpu[impl] < 1.0
+    for impl in ("spdk", "gpu"):
+        assert cpu[impl] > 99.0
+    assert result.all_in_band, result.render()
+
+
+def test_fig7_pcie_traffic(benchmark, once, case_results):
+    result = once(benchmark, fig7_from_results, case_results)
+    print("\n" + result.render())
+    per_img = {r.system: r.measured for r in result.rows
+               if r.series == "pcie_per_image"}
+    # ordering: URAM/on-board fewest ... GPU most
+    assert per_img["snacc-uram"] == pytest.approx(
+        per_img["snacc-onboard_dram"], rel=0.05)
+    assert per_img["snacc-uram"] < 0.6 * per_img["snacc-host_dram"]
+    assert per_img["gpu"] > per_img["spdk"]
+    assert per_img["gpu"] == max(per_img.values())

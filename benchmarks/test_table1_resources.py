@@ -1,0 +1,19 @@
+"""Table 1: FPGA resource utilization of the three streamer variants."""
+
+from repro.bench.experiments.table1 import run_table1
+
+
+def test_table1_resources(benchmark, once):
+    result = once(benchmark, run_table1)
+    print("\n" + result.render())
+    # exact reproduction of the paper's numbers
+    assert result.row("LUT", "uram").measured == 7260
+    assert result.row("FF", "uram").measured == 8388
+    assert result.row("LUT", "onboard_dram").measured == 14063
+    assert result.row("FF", "onboard_dram").measured == 16487
+    assert result.row("BRAM", "onboard_dram").measured == 24.0
+    assert result.row("LUT", "host_dram").measured == 12228
+    assert result.row("FF", "host_dram").measured == 13373
+    assert result.row("BRAM", "host_dram").measured == 17.5
+    assert result.row("URAM", "uram").measured == 4.0
+    assert result.all_in_band, result.render()

@@ -1,0 +1,27 @@
+"""repro — a full-system simulation reproduction of SNAcc.
+
+SNAcc (Volz, Kalkhof, Koch; SC Workshops '25) is an open-source framework
+for streaming-based FPGA network-to-storage accelerators.  This package
+reproduces the system in pure Python as a discrete-event simulation:
+the NVMe Streamer (URAM / on-board DRAM / host DRAM variants), the NVMe
+protocol and SSD device model, the PCIe fabric with peer-to-peer transfers,
+a TaPaSCo-like FPGA platform, flow-controlled 100G Ethernet, an SPDK
+baseline, and the image-classification case study.
+"""
+
+__version__ = "1.0.0"
+
+from .errors import ReproError  # noqa: F401
+from .units import GB, GiB, KiB, MiB, PAGE  # noqa: F401
+
+
+def __getattr__(name):
+    """Lazy top-level conveniences (avoid importing numpy-heavy modules
+    until actually used)."""
+    if name in ("build_snacc_system", "StreamerVariant", "SnaccSystem"):
+        from . import core
+        return getattr(core, name)
+    if name == "Simulator":
+        from .sim import Simulator
+        return Simulator
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

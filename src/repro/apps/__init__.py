@@ -1,0 +1,19 @@
+"""Case-study applications: imaging, classifier, database, pipelines."""
+
+from .case_study import (CaseStudyConfig, CaseStudyResult, IMPLEMENTATIONS,
+                         run_case_study)
+from .database import (DatabaseControllerPe, DatabaseLayout, DatabaseReader,
+                       RecordHeader)
+from .dnn import Classification, ClassifierModel
+from .finn_pe import CLASSIFIER_INPUT_BYTES, ClassifierPe, ScalerPe
+from .gpu_ref import GpuAccelerator, GpuConfig
+from .imaging import CLASSIFIER_RES, ImageFactory, ImageSpec, downscale
+
+__all__ = [
+    "CaseStudyConfig", "CaseStudyResult", "IMPLEMENTATIONS", "run_case_study",
+    "DatabaseControllerPe", "DatabaseLayout", "DatabaseReader", "RecordHeader",
+    "Classification", "ClassifierModel",
+    "CLASSIFIER_INPUT_BYTES", "ClassifierPe", "ScalerPe",
+    "GpuAccelerator", "GpuConfig",
+    "CLASSIFIER_RES", "ImageFactory", "ImageSpec", "downscale",
+]

@@ -1,0 +1,560 @@
+"""The image-classification case study (paper §6, Figs 5-7).
+
+Five implementations of the same application — receive an image stream
+over 100G Ethernet, classify every image, store original + classification
+in an NVMe-resident database:
+
+* ``snacc-uram`` / ``snacc-onboard_dram`` / ``snacc-host_dram`` — the full
+  FPGA pipeline of Fig 5: Ethernet RX -> scaler (+ original bypass) ->
+  FINN-like classifier -> database controller -> NVMe Streamer.  After
+  initialization the host CPU is idle.
+* ``spdk`` — classification stays on the FPGA, but storage is host-managed:
+  images and classifications are DMAd to host memory (double buffering)
+  and one CPU thread writes them out with SPDK.
+* ``gpu`` — classification moves to an A100: the FPGA only receives and
+  downscales; the host shuttles data between NIC-FPGA, DRAM, GPU and SSD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.config import StreamerVariant
+from ..core.system import SnaccSystem, build_snacc_system
+from ..errors import ConfigError
+from ..fpga.axi import AxiStream, StreamFlit
+from ..fpga.platform import FpgaPlatform
+from ..net.frame import EthernetFrame
+from ..net.generator import FrameStreamSource
+from ..net.mac import EthernetMac
+from ..sim.core import Event, Simulator
+from ..sim.resources import Resource, Store
+from ..spdk.driver import SpdkNvmeDriver
+from ..systems import HOST_MEM_BASE, HostSystem, HostSystemConfig, \
+    build_host_system
+from ..units import KiB, gbps_for
+from .database import DatabaseControllerPe, DatabaseLayout, RecordHeader
+from .dnn import ClassifierModel
+from .finn_pe import CLASSIFIER_INPUT_BYTES, ClassifierPe, ScalerPe
+from .gpu_ref import GpuAccelerator, GpuConfig
+from .imaging import ImageFactory, ImageSpec
+
+__all__ = ["CaseStudyConfig", "CaseStudyResult", "run_case_study",
+           "IMPLEMENTATIONS", "SnaccPipeline", "build_snacc_pipeline"]
+
+IMPLEMENTATIONS = ("snacc-uram", "snacc-onboard_dram", "snacc-host_dram",
+                   "spdk", "gpu")
+
+
+@dataclass(frozen=True)
+class CaseStudyConfig:
+    """Workload and platform parameters shared by all implementations."""
+
+    n_images: int = 64
+    spec: ImageSpec = field(default_factory=ImageSpec)
+    n_classes: int = 10
+    #: carry real pixels end to end (slow; default is sized-only)
+    functional: bool = False
+    frame_payload: int = 8192
+    #: Ethernet frames coalesced per pipeline flit (event-count control)
+    frames_per_flit: int = 4
+    host: HostSystemConfig = field(default_factory=HostSystemConfig)
+    #: host-side batch for the SPDK/GPU variants (double buffered)
+    host_batch: int = 8
+    #: concurrent SPDK storage IOs in the reference implementations
+    storage_qd: int = 32
+    #: records excluded from the front of the measurement window; the paper
+    #: streams 16384 images so pipeline fill is negligible there, while the
+    #: simulated runs are far shorter
+    warmup_images: int = 8
+    gpu: GpuConfig = field(default_factory=GpuConfig)
+
+    def validate(self) -> None:
+        """Raise ConfigError on nonsensical parameters."""
+        if self.n_images < 1:
+            raise ConfigError("n_images must be >= 1")
+        if self.spec.nbytes % self.frame_payload:
+            raise ConfigError("frame payload must divide the image size")
+        if self.host_batch < 1 or self.storage_qd < 1:
+            raise ConfigError("host_batch/storage_qd must be >= 1")
+        if not 0 <= self.warmup_images < self.n_images:
+            raise ConfigError("warmup_images must be < n_images")
+
+
+@dataclass
+class CaseStudyResult:
+    """Measured outcome of one implementation run (Figs 6 and 7)."""
+
+    implementation: str
+    images: int
+    stored_bytes: int
+    elapsed_ns: int
+    cpu_utilization: float
+    pcie_traffic: Dict[str, int]
+    bytes_per_image: int = 1
+    records_verified: int = -1
+
+    @property
+    def gbps(self) -> float:
+        """End-to-end storage bandwidth, decimal GB/s (Fig 6)."""
+        return gbps_for(self.stored_bytes, self.elapsed_ns)
+
+    @property
+    def fps(self) -> float:
+        """Images stored per second, derived from the bandwidth exactly
+        as the paper derives its 676 frames/s from 6.1 GB/s."""
+        return self.gbps * 1e9 / self.bytes_per_image
+
+    @property
+    def pcie_total_bytes(self) -> int:
+        """Total PCIe payload crossings (Fig 7)."""
+        return sum(self.pcie_traffic.values())
+
+
+# ---------------------------------------------------------------- front end
+class _EthernetFrontEnd:
+    """Transmitter FPGA + our RX MAC + frame-to-stream bridge."""
+
+    def __init__(self, sim: Simulator, config: CaseStudyConfig,
+                 out_stream: AxiStream,
+                 factory: Optional[ImageFactory]):
+        self.sim = sim
+        self.config = config
+        self.out = out_stream
+        self.tx = EthernetMac(sim, name="txfpga")
+        self.rx = EthernetMac(sim, name="rxfpga")
+        self.tx.connect(self.rx)
+        total = config.n_images * config.spec.nbytes
+        payload_fn = None
+        if factory is not None:
+            cache: dict = {}
+
+            def payload_fn(offset, nbytes):
+                image_id = offset // config.spec.nbytes
+                if image_id not in cache:
+                    cache.clear()
+                    cache[image_id] = factory.make_bytes(image_id)[0]
+                local = offset - image_id * config.spec.nbytes
+                return cache[image_id][local:local + nbytes]
+
+        self.source = FrameStreamSource(
+            sim, self.tx, total_bytes=total,
+            frame_payload=config.frame_payload, payload_fn=payload_fn)
+
+    def start(self) -> None:
+        """Launch transmitter and RX bridge."""
+        self.source.start()
+        self.sim.process(self._bridge(), name="rxbridge")
+
+    def _bridge(self):
+        cfg = self.config
+        image_bytes = cfg.spec.nbytes
+        total = cfg.n_images * image_bytes
+        offset = 0
+        group: List[EthernetFrame] = []
+        group_bytes = 0
+        while offset < total:
+            frame = yield from self.rx.recv()
+            group.append(frame)
+            group_bytes += frame.payload_bytes
+            offset += frame.payload_bytes
+            image_end = offset % image_bytes == 0
+            if len(group) >= cfg.frames_per_flit or image_end:
+                data = None
+                if group[0].data is not None:
+                    data = np.concatenate([f.data for f in group])
+                image_id = (offset - 1) // image_bytes
+                yield from self.out.send(StreamFlit(
+                    nbytes=group_bytes, data=data, last=image_end,
+                    meta={"image_id": image_id}))
+                group, group_bytes = [], 0
+
+
+# ------------------------------------------------------------------- SNAcc
+@dataclass
+class SnaccPipeline:
+    """Handles of a built SNAcc case-study pipeline (exposed for tests)."""
+
+    system: SnaccSystem
+    scaler: ScalerPe
+    classifier: ClassifierPe
+    db: DatabaseControllerPe
+    front: _EthernetFrontEnd
+    layout: DatabaseLayout
+    factory: Optional[ImageFactory]
+
+
+def build_snacc_pipeline(sim: Simulator, config: CaseStudyConfig,
+                         variant: StreamerVariant) -> SnaccPipeline:
+    """Assemble (but do not start) the Fig 5 pipeline on *variant*."""
+    host_cfg = replace(config.host, functional=config.functional)
+    sys_: SnaccSystem = build_snacc_system(sim, variant, host_cfg)
+    sys_.initialize()
+    platform = sys_.platform
+    factory = ImageFactory(config.spec, config.n_classes) \
+        if config.functional else None
+    model = ClassifierModel(factory) if factory is not None else None
+    layout = DatabaseLayout.for_spec(config.spec)
+
+    img_stream = platform.new_stream("cs.img", fifo_bytes=256 * KiB)
+    scaled = platform.new_stream("cs.scaled", fifo_bytes=2 * CLASSIFIER_INPUT_BYTES)
+    bypass = platform.new_stream("cs.bypass", fifo_bytes=256 * KiB)
+    cls_stream = platform.new_stream("cs.cls")
+
+    scaler = ScalerPe(sim, "scaler", config.spec,
+                      functional=config.functional)
+    scaler.add_port("in", img_stream)
+    scaler.add_port("scaled", scaled)
+    scaler.add_port("bypass", bypass)
+    classifier = ClassifierPe(sim, "finn", model=model)
+    classifier.add_port("in", scaled)
+    classifier.add_port("out", cls_stream)
+    db = DatabaseControllerPe(sim, "dbctrl", layout)
+    db.add_port("img", bypass)
+    db.add_port("cls", cls_stream)
+    db.add_port("wr", sys_.streamer.wr)
+    db.add_port("wr_resp", sys_.streamer.wr_resp)
+    for pe in (scaler, classifier, db):
+        platform.add_pe(pe)
+
+    front = _EthernetFrontEnd(sim, config, img_stream, factory)
+    return SnaccPipeline(system=sys_, scaler=scaler, classifier=classifier,
+                         db=db, front=front, layout=layout, factory=factory)
+
+
+def _run_snacc(sim: Simulator, config: CaseStudyConfig,
+               variant: StreamerVariant) -> CaseStudyResult:
+    pipe = build_snacc_pipeline(sim, config, variant)
+    sys_, db, front = pipe.system, pipe.db, pipe.front
+    sys_.host.fabric.traffic.reset()
+    sys_.host.cpu.reset_accounting()
+    start = sim.now
+    sys_.platform.start_all()
+    front.start()
+
+    window = {"first_ns": None, "bytes": 0}
+    backend = sys_.host.ssd.backend
+
+    def until_done():
+        # Steady-state window over bytes the SSD actually programmed.
+        while (db.records_written < config.n_images
+               or db.responses_pending > 0):
+            if window["first_ns"] is None \
+                    and db.records_written >= config.warmup_images:
+                window["first_ns"] = sim.now
+                window["bytes"] = backend.programmed_bytes
+            yield sim.timeout(50_000)
+
+    sim.run_process(until_done())
+    first = window["first_ns"] if window["first_ns"] is not None else start
+    return CaseStudyResult(
+        implementation=f"snacc-{variant.value}",
+        images=config.n_images - (config.warmup_images
+                                  if window["first_ns"] is not None else 0),
+        stored_bytes=backend.programmed_bytes - window["bytes"],
+        elapsed_ns=max(1, sim.now - first),
+        cpu_utilization=sys_.host.cpu.utilization(),
+        pcie_traffic=sys_.host.fabric.traffic.snapshot(),
+        bytes_per_image=config.spec.nbytes)
+
+
+# ------------------------------------------------------- host-managed common
+class _HostBridgePe:
+    """FPGA-side DMA engines for the SPDK/GPU variants.
+
+    Moves the original images into a ring of pinned host slots and the
+    classification metadata into a small host array, signalling the host
+    loop per image.
+    """
+
+    def __init__(self, sim: Simulator, platform: FpgaPlatform,
+                 host: HostSystem, config: CaseStudyConfig,
+                 img_in: AxiStream, cls_in: Optional[AxiStream],
+                 ring_mult: int = 2):
+        self.sim = sim
+        self.platform = platform
+        self.config = config
+        self.img_in = img_in
+        self.cls_in = cls_in
+        ring = ring_mult * config.host_batch
+        self.ring = ring
+        self.slots = [host.allocator.allocate(config.spec.nbytes)
+                      for _ in range(ring)]
+        self.slot_free = [Resource(sim, 1, name=f"slot{i}")
+                          for i in range(ring)]
+        self.image_ready: Dict[int, Event] = {}
+        self.cls_ready: Dict[int, dict] = {}
+        self.cls_event: Dict[int, Event] = {}
+
+    def ready_event(self, image_id: int) -> Event:
+        """Host side: event firing when image *image_id* is in its slot."""
+        return self.image_ready.setdefault(image_id, Event(self.sim))
+
+    def cls_ready_event(self, image_id: int) -> Event:
+        """Host side: event firing when the classification arrived."""
+        return self.cls_event.setdefault(image_id, Event(self.sim))
+
+    def release_slot(self, image_id: int) -> None:
+        """Host side: the slot's storage writes completed."""
+        self.slot_free[image_id % self.ring].release()
+
+    def start(self) -> None:
+        """Launch the DMA engines."""
+        self.sim.process(self._image_loop(), name="bridge.img")
+        if self.cls_in is not None:
+            self.sim.process(self._cls_loop(), name="bridge.cls")
+
+    def _image_loop(self):
+        cfg = self.config
+        for image_id in range(cfg.n_images):
+            slot_idx = image_id % self.ring
+            yield self.slot_free[slot_idx].acquire()
+            buf = self.slots[slot_idx]
+            pos = 0
+            while pos < cfg.spec.nbytes:
+                flit = yield from self.img_in.recv()
+                local = 0
+                for span in buf.spans(pos, flit.nbytes):
+                    chunk = None
+                    if flit.data is not None:
+                        chunk = flit.data[local:local + span.size]
+                    yield from self.platform.endpoint.dma_write(
+                        span.base, data=chunk,
+                        nbytes=None if chunk is not None else span.size)
+                    local += span.size
+                pos += flit.nbytes
+                if flit.last and pos != cfg.spec.nbytes:
+                    raise ConfigError("image framing mismatch in bridge")
+            self.ready_event(image_id).succeed()
+
+    def _cls_loop(self):
+        for _ in range(self.config.n_images):
+            flit = yield from self.cls_in.recv()
+            image_id = flit.meta.get("image_id", -1)
+            # tiny metadata DMA to the host
+            yield from self.platform.endpoint.dma_write(
+                HOST_MEM_BASE, nbytes=64)
+            self.cls_ready[image_id] = dict(flit.meta)
+            self.cls_ready_event(image_id).succeed()
+
+
+def _store_records_host(sim: Simulator, host: HostSystem,
+                        driver: SpdkNvmeDriver, bridge: _HostBridgePe,
+                        config: CaseStudyConfig, layout: DatabaseLayout,
+                        stats: dict):
+    """The host storage thread: SPDK-writes each image + header."""
+    cpu = host.cpu
+    header_buf = driver.alloc_buffer(4 * KiB)
+    inflight = Resource(sim, config.storage_qd)
+    jobs = []
+
+    def write_one(image_id):
+        yield bridge.ready_event(image_id)
+        yield bridge.cls_ready_event(image_id)
+        meta = bridge.cls_ready.get(image_id, {})
+        yield from cpu.work(1000)  # batch management, record bookkeeping
+        slot = bridge.slots[image_id % bridge.ring]
+        bodies = yield from driver.submit_split(
+            1, layout.body_addr(image_id) // 512, config.spec.nbytes, slot)
+        if config.functional:
+            header = RecordHeader(
+                image_id=image_id, length=config.spec.nbytes,
+                klass=meta.get("klass", -1),
+                confidence=meta.get("confidence", 0.0))
+            host.host_mem.write(
+                header_buf.chunks[0].base - HOST_MEM_BASE, header.pack())
+        head = yield from driver.submit(
+            1, layout.header_addr(image_id) // 512, 4 * KiB, header_buf)
+        for body in bodies:
+            yield body.done
+        yield head.done
+        bridge.release_slot(image_id)
+        stats["stored"] += config.spec.nbytes + 4 * KiB
+        stats["records"] += 1
+        if stats["records"] == config.warmup_images:
+            stats["first_ns"] = sim.now
+            stats["bytes_at_first"] = host.ssd.backend.programmed_bytes
+        inflight.release()
+
+    for image_id in range(config.n_images):
+        yield inflight.acquire()
+        jobs.append(sim.process(write_one(image_id)))
+    yield sim.all_of(jobs)
+
+
+# -------------------------------------------------------------------- SPDK
+def _run_spdk(sim: Simulator, config: CaseStudyConfig) -> CaseStudyResult:
+    host_cfg = replace(config.host, functional=config.functional)
+    host = build_host_system(sim, host_cfg)
+    platform = FpgaPlatform(sim, host.fabric)
+    driver = host.spdk_driver()
+    sim.run_process(driver.initialize())
+    # the FPGA DMA engines need host-memory access
+    host.fabric.iommu.grant(platform.config.name,
+                            host.allocator.region.base,
+                            host.allocator.region.size)
+
+    factory = ImageFactory(config.spec, config.n_classes) \
+        if config.functional else None
+    model = ClassifierModel(factory) if factory is not None else None
+    layout = DatabaseLayout.for_spec(config.spec)
+
+    img_stream = platform.new_stream("cs.img", fifo_bytes=256 * KiB)
+    scaled = platform.new_stream("cs.scaled",
+                                 fifo_bytes=2 * CLASSIFIER_INPUT_BYTES)
+    bypass = platform.new_stream("cs.bypass", fifo_bytes=256 * KiB)
+    cls_stream = platform.new_stream("cs.cls")
+    scaler = ScalerPe(sim, "scaler", config.spec,
+                      functional=config.functional)
+    scaler.add_port("in", img_stream)
+    scaler.add_port("scaled", scaled)
+    scaler.add_port("bypass", bypass)
+    classifier = ClassifierPe(sim, "finn", model=model)
+    classifier.add_port("in", scaled)
+    classifier.add_port("out", cls_stream)
+    platform.add_pe(scaler)
+    platform.add_pe(classifier)
+
+    bridge = _HostBridgePe(sim, platform, host, config, bypass, cls_stream)
+    front = _EthernetFrontEnd(sim, config, img_stream, factory)
+    host.fabric.traffic.reset()
+    host.cpu.reset_accounting()
+    stats = {"stored": 0, "records": 0}
+    start = sim.now
+    platform.start_all()
+    bridge.start()
+    front.start()
+    sim.run_process(_store_records_host(sim, host, driver, bridge, config,
+                                        layout, stats))
+    util = host.cpu.utilization()
+    driver.shutdown()
+    first = stats.get("first_ns", start)
+    base = stats.get("bytes_at_first", 0)
+    return CaseStudyResult(
+        implementation="spdk",
+        images=stats["records"] - (config.warmup_images
+                                   if "first_ns" in stats else 0),
+        stored_bytes=host.ssd.backend.programmed_bytes - base,
+        elapsed_ns=max(1, sim.now - first),
+        cpu_utilization=util,
+        pcie_traffic=host.fabric.traffic.snapshot(),
+        bytes_per_image=config.spec.nbytes)
+
+
+# --------------------------------------------------------------------- GPU
+def _run_gpu(sim: Simulator, config: CaseStudyConfig) -> CaseStudyResult:
+    host_cfg = replace(config.host, functional=config.functional)
+    host = build_host_system(sim, host_cfg)
+    platform = FpgaPlatform(sim, host.fabric)
+    gpu = GpuAccelerator(sim, host.fabric, config.gpu)
+    driver = host.spdk_driver()
+    sim.run_process(driver.initialize())
+    host.fabric.iommu.grant(platform.config.name,
+                            host.allocator.region.base,
+                            host.allocator.region.size)
+    host.fabric.iommu.grant(config.gpu.name,
+                            host.allocator.region.base,
+                            host.allocator.region.size)
+
+    factory = ImageFactory(config.spec, config.n_classes) \
+        if config.functional else None
+    layout = DatabaseLayout.for_spec(config.spec)
+
+    img_stream = platform.new_stream("cs.img", fifo_bytes=256 * KiB)
+    scaled = platform.new_stream("cs.scaled",
+                                 fifo_bytes=4 * CLASSIFIER_INPUT_BYTES)
+    bypass = platform.new_stream("cs.bypass", fifo_bytes=256 * KiB)
+    scaler = ScalerPe(sim, "scaler", config.spec,
+                      functional=config.functional)
+    scaler.add_port("in", img_stream)
+    scaler.add_port("scaled", scaled)
+    scaler.add_port("bypass", bypass)
+    platform.add_pe(scaler)
+
+    # A deeper slot ring decouples frame arrival from per-batch inference,
+    # hiding GPU latency behind storage (the paper's multi-threaded overlap).
+    bridge = _HostBridgePe(sim, platform, host, config, bypass, cls_in=None,
+                           ring_mult=4)
+    # double-buffered staging: collection overlaps inference ("other CPU
+    # threads manage data transfers", §6.1)
+    ring = 2 * config.host_batch
+    scaled_buf = host.allocator.allocate(ring * CLASSIFIER_INPUT_BYTES)
+    results_buf = host.allocator.allocate(4 * KiB)
+    stage_free = Resource(sim, ring)
+    staged = Store(sim)  # image ids whose scaled copy reached host memory
+
+    def collector():
+        for image_id in range(config.n_images):
+            flit = yield from scaled.recv()
+            yield stage_free.acquire()
+            yield from platform.endpoint.dma_write(
+                scaled_buf.translate(
+                    (image_id % ring) * CLASSIFIER_INPUT_BYTES),
+                nbytes=flit.nbytes)
+            yield staged.put(image_id)
+
+    def inferrer():
+        done = 0
+        while done < config.n_images:
+            batch_ids = []
+            batch = min(config.host_batch, config.n_images - done)
+            for _ in range(batch):
+                image_id = yield staged.get()
+                batch_ids.append(image_id)
+            yield from host.cpu.work(50_000)  # assembly + launch from host
+            yield from gpu.infer_batch(
+                scaled_buf.translate((batch_ids[0] % ring)
+                                     * CLASSIFIER_INPUT_BYTES),
+                batch, results_buf.chunks[0].base)
+            for image_id in batch_ids:
+                stage_free.release()
+                bridge.cls_ready[image_id] = {"klass": -1, "confidence": 0.0}
+                bridge.cls_ready_event(image_id).succeed()
+            done += batch
+
+    front = _EthernetFrontEnd(sim, config, img_stream, factory)
+    host.fabric.traffic.reset()
+    host.cpu.reset_accounting()
+    stats = {"stored": 0, "records": 0}
+    start = sim.now
+    platform.start_all()
+    bridge.start()
+    front.start()
+    sim.process(collector(), name="gpu.collector")
+    sim.process(inferrer(), name="gpu.inferrer")
+    sim.run_process(_store_records_host(sim, host, driver, bridge, config,
+                                        layout, stats))
+    util = host.cpu.utilization()
+    driver.shutdown()
+    first = stats.get("first_ns", start)
+    base = stats.get("bytes_at_first", 0)
+    return CaseStudyResult(
+        implementation="gpu",
+        images=stats["records"] - (config.warmup_images
+                                   if "first_ns" in stats else 0),
+        stored_bytes=host.ssd.backend.programmed_bytes - base,
+        elapsed_ns=max(1, sim.now - first),
+        cpu_utilization=util,
+        pcie_traffic=host.fabric.traffic.snapshot(),
+        bytes_per_image=config.spec.nbytes)
+
+
+# ------------------------------------------------------------------ runner
+def run_case_study(implementation: str,
+                   config: CaseStudyConfig = CaseStudyConfig()
+                   ) -> CaseStudyResult:
+    """Build and run one implementation on a fresh simulator."""
+    config.validate()
+    sim = Simulator()
+    if implementation.startswith("snacc-"):
+        variant = StreamerVariant(implementation.split("-", 1)[1])
+        return _run_snacc(sim, config, variant)
+    if implementation == "spdk":
+        return _run_spdk(sim, config)
+    if implementation == "gpu":
+        return _run_gpu(sim, config)
+    raise ConfigError(f"unknown implementation {implementation!r}; "
+                      f"choose from {IMPLEMENTATIONS}")

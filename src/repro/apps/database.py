@@ -1,0 +1,188 @@
+"""Image database: record layout and the database-controller PE (Fig 5).
+
+Layout on the NVMe namespace:
+
+* fixed-size image slots: slot *i* starts at ``i * slot_bytes``; the first
+  4 KiB page is the record header (magic, image id, length, class id,
+  confidence), the image body follows at ``slot + 4 KiB``;
+* the controller writes each record as two user commands — the body is
+  streamed to storage *while it arrives* (bypass path), and the header is
+  written once the classification for that image emerges from the
+  classifier pipeline.  Both land through the same SNAcc write stream,
+  serialized per user command.
+
+:class:`DatabaseReader` reads records back through the user port for
+verification — the "later use" the paper's databases serve.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..fpga.axi import AxiStream, StreamFlit
+from ..fpga.pe import ProcessingElement
+from ..sim.core import Simulator
+from ..sim.resources import Resource
+from ..units import KiB, align_up
+from .imaging import ImageSpec
+
+__all__ = ["RecordHeader", "DatabaseLayout", "DatabaseControllerPe",
+           "DatabaseReader"]
+
+_MAGIC = 0x534E4143  # "SNAC"
+_HEADER_PACK = struct.Struct("<IIQIif")  # klass is signed (-1 = unclassified)
+
+
+@dataclass(frozen=True)
+class RecordHeader:
+    """Metadata stored in the first page of each record slot."""
+
+    image_id: int
+    length: int
+    klass: int
+    confidence: float
+
+    def pack(self) -> bytes:
+        """Encode into the 4 KiB header page (zero padded)."""
+        raw = _HEADER_PACK.pack(_MAGIC, 1, self.image_id, self.length,
+                                self.klass, self.confidence)
+        return raw + bytes(4 * KiB - len(raw))
+
+    @classmethod
+    def unpack(cls, raw) -> "RecordHeader":
+        """Decode a header page."""
+        magic, _ver, image_id, length, klass, conf = _HEADER_PACK.unpack(
+            bytes(raw)[:_HEADER_PACK.size])
+        if magic != _MAGIC:
+            raise ConfigError(f"bad record magic {magic:#x}")
+        return cls(image_id=image_id, length=length, klass=klass,
+                   confidence=conf)
+
+
+@dataclass(frozen=True)
+class DatabaseLayout:
+    """Slot geometry derived from the image size."""
+
+    image_bytes: int
+    header_bytes: int = 4 * KiB
+
+    @property
+    def slot_bytes(self) -> int:
+        """Bytes per record slot (header + body, 4 KiB aligned)."""
+        return align_up(self.header_bytes + self.image_bytes, 4 * KiB)
+
+    def header_addr(self, image_id: int) -> int:
+        """Device address of record *image_id*'s header."""
+        return image_id * self.slot_bytes
+
+    def body_addr(self, image_id: int) -> int:
+        """Device address of record *image_id*'s image body."""
+        return self.header_addr(image_id) + self.header_bytes
+
+    @classmethod
+    def for_spec(cls, spec: ImageSpec) -> "DatabaseLayout":
+        """Layout matching the synthetic camera images."""
+        return cls(image_bytes=spec.nbytes)
+
+
+class DatabaseControllerPe(ProcessingElement):
+    """Streams records to NVMe through the SNAcc user write stream.
+
+    Ports: ``img`` (original image bypass), ``cls`` (classification
+    stream), plus the streamer's ``wr`` / ``wr_resp`` streams.
+    """
+
+    def __init__(self, sim: Simulator, name: str, layout: DatabaseLayout):
+        super().__init__(sim, name)
+        self.layout = layout
+        self.records_written = 0
+        self.bytes_stored = 0
+        self._wr_lock = Resource(sim, 1, name=f"{name}.wr")
+        self._expected_responses = 0
+
+    def behavior(self):
+        # Main process: stream image bodies; a sibling handles headers and
+        # a third drains the write responses.
+        self.sim.process(self._classification_loop(), name=f"{self.name}.cls")
+        self.sim.process(self._response_loop(), name=f"{self.name}.resp")
+        img: AxiStream = self.port("img")
+        wr: AxiStream = self.port("wr")
+        while True:
+            first = yield from img.recv()
+            image_id = first.meta.get("image_id", -1)
+            addr = self.layout.body_addr(image_id)
+            yield self._wr_lock.acquire()
+            try:
+                yield from wr.send(StreamFlit(
+                    nbytes=64, meta={"op": "write", "addr": addr}))
+                flit = first
+                total = 0
+                while True:
+                    total += flit.nbytes
+                    yield from wr.send(StreamFlit(
+                        nbytes=flit.nbytes, data=flit.data, last=flit.last))
+                    if flit.last:
+                        break
+                    flit = yield from img.recv()
+            finally:
+                self._wr_lock.release()
+            self._expected_responses += 1
+            self.bytes_stored += total
+
+    def _classification_loop(self):
+        cls_in: AxiStream = self.port("cls")
+        wr: AxiStream = self.port("wr")
+        while True:
+            flit = yield from cls_in.recv()
+            header = RecordHeader(
+                image_id=flit.meta.get("image_id", -1),
+                length=self.layout.image_bytes,
+                klass=flit.meta.get("klass", -1),
+                confidence=flit.meta.get("confidence", 0.0))
+            # headers are tiny; always carry real bytes so readback works
+            data = np.frombuffer(header.pack(), dtype=np.uint8).copy()
+            addr = self.layout.header_addr(header.image_id)
+            yield self._wr_lock.acquire()
+            try:
+                yield from wr.send(StreamFlit(
+                    nbytes=64, meta={"op": "write", "addr": addr}))
+                yield from wr.send(StreamFlit(
+                    nbytes=4 * KiB, data=data, last=True))
+            finally:
+                self._wr_lock.release()
+            self._expected_responses += 1
+            self.records_written += 1
+            self.bytes_stored += 4 * KiB
+
+    def _response_loop(self):
+        wr_resp: AxiStream = self.port("wr_resp")
+        while True:
+            yield from wr_resp.recv()
+            self._expected_responses -= 1
+
+    @property
+    def responses_pending(self) -> int:
+        """Writes issued but not yet acknowledged by the streamer."""
+        return self._expected_responses
+
+
+class DatabaseReader:
+    """Reads records back through a SNAcc user port (verification path)."""
+
+    def __init__(self, user_port, layout: DatabaseLayout):
+        self.user = user_port
+        self.layout = layout
+
+    def read_record(self, image_id: int):
+        """Generator: returns (RecordHeader, image bytes array)."""
+        raw = yield from self.user.read(self.layout.header_addr(image_id),
+                                        self.layout.header_bytes)
+        header = RecordHeader.unpack(raw)
+        body = yield from self.user.read(self.layout.body_addr(image_id),
+                                         align_up(header.length, 512))
+        return header, body[:header.length]

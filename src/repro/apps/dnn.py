@@ -1,0 +1,85 @@
+"""A compact quantized CNN classifier (the FINN MobileNet-V1 stand-in).
+
+The paper classifies with a FINN-generated, heavily quantized MobileNet-V1.
+Those weights aren't available, so the functional path uses a small
+fixed-point network with the same structural flavour — int8 depthwise-ish
+convolution, ReLU, pooling, then a prototype (fully-connected) stage — whose
+"weights" are derived from the known class textures, the moral equivalent
+of training offline and baking the weights into the bitstream.  It
+genuinely classifies the synthetic images (including under noise), so data
+integrity and correct labelling are testable end to end; the PE's
+*throughput* comes from the timing model in :mod:`repro.apps.finn_pe`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..errors import ConfigError
+from .imaging import CLASSIFIER_RES, ImageFactory
+
+__all__ = ["ClassifierModel", "Classification"]
+
+#: feature-map resolution after pooling
+_FEAT_RES = 16
+
+
+@dataclass(frozen=True)
+class Classification:
+    """One inference result."""
+
+    klass: int
+    confidence: float
+
+
+class ClassifierModel:
+    """Int8 conv + pool feature extractor with prototype matching."""
+
+    def __init__(self, factory: ImageFactory, seed: int = 11):
+        self.n_classes = factory.n_classes
+        rng = np.random.default_rng(seed)
+        # Fixed int8 3x3 kernels (one per channel), like a binarized layer.
+        self._kernels = rng.integers(-4, 5, size=(3, 3, 3)).astype(np.int32)
+        # "Train": prototypes are the features of the clean class textures.
+        protos: List[np.ndarray] = []
+        for k in range(self.n_classes):
+            clean = np.clip(factory._bases[k], 0, 255).astype(np.uint8)
+            protos.append(self._features(clean))
+        self._protos = np.stack(protos)  # [n_classes, F]
+
+    # -- the "network" ---------------------------------------------------------
+    def _features(self, image: np.ndarray) -> np.ndarray:
+        """int8-flavoured conv3x3 -> ReLU -> average pool -> normalize."""
+        if image.shape != (CLASSIFIER_RES, CLASSIFIER_RES, 3):
+            raise ConfigError(
+                f"classifier expects {CLASSIFIER_RES}x{CLASSIFIER_RES}x3, "
+                f"got {image.shape}")
+        x = image.astype(np.int32) - 128
+        # depthwise 3x3 convolution via shifted adds (cheap, HLS-like)
+        acc = np.zeros((CLASSIFIER_RES - 2, CLASSIFIER_RES - 2), dtype=np.int32)
+        for dy in range(3):
+            for dx in range(3):
+                window = x[dy:dy + CLASSIFIER_RES - 2,
+                           dx:dx + CLASSIFIER_RES - 2, :]
+                acc += (window * self._kernels[dy, dx]).sum(axis=2)
+        acc = np.maximum(acc, 0) >> 4        # ReLU + requantize
+        # average pool to the feature resolution
+        side = acc.shape[0] // _FEAT_RES
+        pooled = acc[:side * _FEAT_RES, :side * _FEAT_RES] \
+            .reshape(_FEAT_RES, side, _FEAT_RES, side).mean(axis=(1, 3))
+        feat = pooled.reshape(-1).astype(np.float64)
+        norm = np.linalg.norm(feat)
+        return feat / norm if norm > 0 else feat
+
+    def classify(self, image: np.ndarray) -> Classification:
+        """Run inference on one 224x224x3 uint8 image."""
+        feat = self._features(image)
+        scores = self._protos @ feat
+        best = int(np.argmax(scores))
+        # softmax-ish confidence over similarity scores
+        ex = np.exp((scores - scores.max()) * 12.0)
+        conf = float(ex[best] / ex.sum())
+        return Classification(klass=best, confidence=conf)

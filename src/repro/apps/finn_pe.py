@@ -1,0 +1,146 @@
+"""Streaming PEs of the case study's FPGA pipeline (paper Fig 5).
+
+* :class:`ScalerPe` — consumes the full-resolution image stream from the
+  Ethernet RX, produces 224x224x3 images for the classifier, and forwards
+  the untouched originals on a bypass stream toward the database
+  controller ("our database controller forwards the original image data
+  stream, bypassing the classification pipeline").
+* :class:`ClassifierPe` — the FINN-generated MobileNet-V1 stand-in: a
+  fully pipelined dataflow accelerator with a fixed initiation interval
+  and pipeline latency.  In functional mode it runs the real quantized
+  model from :mod:`repro.apps.dnn` on the real pixels.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..fpga.axi import AxiStream, StreamFlit
+from ..fpga.pe import ProcessingElement
+from ..sim.core import Event, Simulator
+from .dnn import Classification, ClassifierModel
+from .imaging import CLASSIFIER_RES, ImageSpec, downscale
+
+__all__ = ["ScalerPe", "ClassifierPe", "CLASSIFIER_INPUT_BYTES"]
+
+#: bytes of one classifier input image (224*224*3)
+CLASSIFIER_INPUT_BYTES = CLASSIFIER_RES * CLASSIFIER_RES * 3
+
+
+class ScalerPe(ProcessingElement):
+    """Streaming area downscaler with an original-image bypass.
+
+    Ports: ``in`` (full images, flits with ``meta['image_id']``; TLAST ends
+    an image), ``scaled`` (one flit per image toward the classifier),
+    ``bypass`` (the original flits, forwarded losslessly).
+    """
+
+    def __init__(self, sim: Simulator, name: str, spec: ImageSpec,
+                 functional: bool = True):
+        super().__init__(sim, name)
+        self.spec = spec
+        self.functional = functional
+        self.images_scaled = 0
+
+    def behavior(self):
+        inp: AxiStream = self.port("in")
+        scaled: AxiStream = self.port("scaled")
+        bypass: AxiStream = self.port("bypass")
+        while True:
+            chunks = []
+            got = 0
+            image_id = None
+            while True:
+                flit = yield from inp.recv()
+                if image_id is None:
+                    image_id = flit.meta.get("image_id", -1)
+                got += flit.nbytes
+                if flit.data is not None:
+                    chunks.append(flit.data)
+                yield from bypass.send(StreamFlit(
+                    nbytes=flit.nbytes, data=flit.data, last=flit.last,
+                    meta=dict(flit.meta)))
+                if flit.last:
+                    break
+            if got != self.spec.nbytes:
+                raise ConfigError(
+                    f"{self.name}: image {image_id} is {got} bytes, "
+                    f"expected {self.spec.nbytes}")
+            small_data: Optional[np.ndarray] = None
+            if self.functional and chunks:
+                img = np.concatenate(chunks).reshape(
+                    self.spec.height, self.spec.width, self.spec.channels)
+                small_data = downscale(img).reshape(-1)
+            self.images_scaled += 1
+            yield from scaled.send(StreamFlit(
+                nbytes=CLASSIFIER_INPUT_BYTES, data=small_data, last=True,
+                meta={"image_id": image_id}))
+
+
+class ClassifierPe(ProcessingElement):
+    """FINN-style dataflow classifier: fixed II, pipelined latency.
+
+    Ports: ``in`` (one flit per 224x224x3 image), ``out`` (one
+    classification flit per image, in order).  Defaults give ~2500 fps —
+    well above the storage path, as the paper intends ("we chose
+    MobileNet-V1 due to its high throughput, with the aim to truly stress
+    our infrastructure").
+    """
+
+    def __init__(self, sim: Simulator, name: str,
+                 model: Optional[ClassifierModel] = None,
+                 initiation_interval_ns: int = 400_000,
+                 pipeline_latency_ns: int = 1_500_000):
+        super().__init__(sim, name)
+        if initiation_interval_ns <= 0 or pipeline_latency_ns < 0:
+            raise ConfigError("bad classifier timing")
+        self.model = model
+        self.ii_ns = initiation_interval_ns
+        self.latency_ns = pipeline_latency_ns
+        self.images_classified = 0
+
+    @property
+    def fps(self) -> float:
+        """Peak classification rate."""
+        return 1e9 / self.ii_ns
+
+    def behavior(self):
+        inp: AxiStream = self.port("in")
+        out: AxiStream = self.port("out")
+        next_start = 0
+        prev_emit = Event(self.sim)
+        prev_emit.succeed()
+        while True:
+            flit = yield from inp.recv()
+            if flit.nbytes != CLASSIFIER_INPUT_BYTES:
+                raise ConfigError(
+                    f"{self.name}: expected {CLASSIFIER_INPUT_BYTES}-byte "
+                    f"images, got {flit.nbytes}")
+            # Fully pipelined: successive images start II apart.
+            if self.sim.now < next_start:
+                yield self.sim.timeout(next_start - self.sim.now)
+            next_start = self.sim.now + self.ii_ns
+            token = Event(self.sim)
+            self.sim.process(self._emit(flit, prev_emit, token),
+                             name=f"{self.name}.emit")
+            prev_emit = token
+
+    def _emit(self, flit: StreamFlit, prev_emit: Event, token: Event):
+        out: AxiStream = self.port("out")
+        yield self.sim.timeout(self.latency_ns)
+        if self.model is not None and flit.data is not None:
+            img = flit.data.reshape(CLASSIFIER_RES, CLASSIFIER_RES, 3)
+            result = self.model.classify(img)
+        else:
+            result = Classification(klass=-1, confidence=0.0)
+        yield prev_emit  # keep classifications in image order
+        self.images_classified += 1
+        yield from out.send(StreamFlit(
+            nbytes=64, last=True,
+            meta={"image_id": flit.meta.get("image_id", -1),
+                  "klass": result.klass,
+                  "confidence": result.confidence}))
+        token.succeed()

@@ -1,0 +1,82 @@
+"""GPU reference pipeline components (paper §6.1, "GPU").
+
+An NVIDIA A100 on the same PCIe fabric: the host moves downscaled images
+to the GPU, runs batched MobileNet-V1 inference, and retrieves the
+classifications — "This solution incurs more PCIe traffic since the
+downscaled images must be transferred to the GPU, and the classifications
+must be retrieved from it."  Storage still goes through SPDK.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+from ..pcie.link import LinkParams
+from ..pcie.root_complex import PcieEndpoint, PcieFabric
+from ..sim.core import Simulator
+from .finn_pe import CLASSIFIER_INPUT_BYTES
+
+__all__ = ["GpuConfig", "GpuAccelerator"]
+
+
+@dataclass(frozen=True)
+class GpuConfig:
+    """A100-like accelerator parameters."""
+
+    name: str = "gpu"
+    link: LinkParams = field(default_factory=lambda: LinkParams(
+        gen=4, lanes=16, propagation_ns=75))
+    #: inference batch size (the paper evaluates batches of e.g. 32)
+    batch_size: int = 32
+    #: effective per-image time of the PyTorch inference service, ns.
+    #: The A100's raw MobileNet-V1 throughput is far higher, but the
+    #: paper's measured 5.76 GB/s (~600 fps) implies the Python-side
+    #: service — dispatch, synchronization, result retrieval — limits the
+    #: pipeline; all of that is folded into this calibrated constant.
+    per_image_compute_ns: int = 1_630_000
+    #: fixed launch/synchronization overhead per batch, ns
+    launch_overhead_ns: int = 150_000
+    #: bytes returned per classification
+    result_bytes: int = 64
+
+    def validate(self) -> None:
+        """Raise ConfigError on nonsensical parameters."""
+        if self.batch_size < 1:
+            raise ConfigError("batch_size must be >= 1")
+        if self.per_image_compute_ns <= 0 or self.launch_overhead_ns < 0:
+            raise ConfigError("bad GPU timing")
+
+
+class GpuAccelerator:
+    """The device side: PCIe endpoint + batched inference engine."""
+
+    def __init__(self, sim: Simulator, fabric: PcieFabric,
+                 config: GpuConfig = GpuConfig()):
+        config.validate()
+        self.sim = sim
+        self.config = config
+        self.endpoint: PcieEndpoint = fabric.attach_endpoint(
+            config.name, config.link, max_read_tags=64)
+        self.batches_run = 0
+        self.images_classified = 0
+
+    def infer_batch(self, host_images_addr: int, n_images: int,
+                    host_results_addr: int):
+        """Generator: H2D copy, kernel, D2H copy — one inference batch.
+
+        The H2D/D2H copies are issued by the GPU's DMA engines (as CUDA
+        memcpys are), crossing the GPU link and host memory.
+        """
+        if n_images < 1:
+            raise ConfigError("empty inference batch")
+        yield from self.endpoint.dma_read(
+            host_images_addr, n_images * CLASSIFIER_INPUT_BYTES,
+            functional=False)
+        yield self.sim.timeout(
+            self.config.launch_overhead_ns
+            + self.config.per_image_compute_ns * n_images)
+        yield from self.endpoint.dma_write(
+            host_results_addr, nbytes=n_images * self.config.result_bytes)
+        self.batches_run += 1
+        self.images_classified += n_images

@@ -1,0 +1,123 @@
+"""Synthetic image stream and downscaler for the case study (paper §6).
+
+The paper streams 16384 images totalling 147 GB (~9 MB each) from a
+transmitter FPGA, downscales to 224x224 for classification, and stores the
+originals.  Since the real camera stream isn't available, images are
+synthesized: each class is a distinct oriented-sinusoid texture plus noise,
+so a real (small) classifier can genuinely recognise them and the whole
+functional path is verifiable end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["ImageSpec", "ImageFactory", "downscale"]
+
+#: classifier input resolution (MobileNet-V1 input, paper §6.1)
+CLASSIFIER_RES = 224
+
+
+@dataclass(frozen=True)
+class ImageSpec:
+    """Geometry of the synthetic camera images.
+
+    The default 1792x1792x3 (~9.6 MB) matches the paper's ~9 MB/image and
+    is an exact 8x multiple of the classifier resolution, so the area
+    downscaler inverts the synthetic upsampling.
+    """
+
+    height: int = 1792
+    width: int = 1792
+    channels: int = 3
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes per raw image."""
+        return self.height * self.width * self.channels
+
+    def validate(self) -> None:
+        """Raise ConfigError on nonsensical geometry."""
+        if self.height < CLASSIFIER_RES or self.width < CLASSIFIER_RES:
+            raise ConfigError("images must be at least classifier resolution")
+        if self.channels != 3:
+            raise ConfigError("the pipeline expects RGB images")
+
+
+class ImageFactory:
+    """Deterministic synthetic images: class -> texture, plus noise."""
+
+    def __init__(self, spec: ImageSpec = ImageSpec(), n_classes: int = 10,
+                 noise: float = 18.0, seed: int = 7):
+        spec.validate()
+        if not 2 <= n_classes <= 64:
+            raise ConfigError(f"n_classes {n_classes} out of range [2, 64]")
+        self.spec = spec
+        self.n_classes = n_classes
+        self.noise = noise
+        self._seed = seed
+        # Cache per-class base textures at classifier resolution; full-res
+        # images are upsampled from these (cheap and consistent with the
+        # downscale-then-classify pipeline).
+        self._bases = [self._texture(k) for k in range(n_classes)]
+
+    def _texture(self, klass: int) -> np.ndarray:
+        """Oriented sinusoid texture distinguishing class *klass*."""
+        r = CLASSIFIER_RES
+        yy, xx = np.mgrid[0:r, 0:r].astype(np.float64)
+        angle = np.pi * klass / self.n_classes
+        freq = 0.07 + 0.035 * (klass % 5)
+        wave = np.sin((xx * np.cos(angle) + yy * np.sin(angle)) * freq)
+        base = (127.5 + 100 * wave).astype(np.float64)
+        img = np.stack([
+            base,
+            np.roll(base, klass * 3, axis=0),
+            np.roll(base, klass * 7, axis=1),
+        ], axis=-1)
+        return img
+
+    def make(self, image_id: int, klass: int | None = None):
+        """One synthetic image; returns (uint8 HxWx3 array, class id)."""
+        if klass is None:
+            klass = image_id % self.n_classes
+        if not 0 <= klass < self.n_classes:
+            raise ConfigError(f"class {klass} out of range")
+        small = self._bases[klass]
+        fh = max(1, self.spec.height // CLASSIFIER_RES)
+        fw = max(1, self.spec.width // CLASSIFIER_RES)
+        big = np.repeat(np.repeat(small, fh, axis=0), fw, axis=1)
+        big = big[:self.spec.height, :self.spec.width, :]
+        if big.shape[:2] != (self.spec.height, self.spec.width):
+            big = np.tile(big, (2, 2, 1))[:self.spec.height,
+                                          :self.spec.width, :]
+        # Per-image RNG: image_id alone determines the pixels, so any
+        # consumer can regenerate any image independently of call order.
+        rng = np.random.default_rng((self._seed, image_id))
+        noisy = big + rng.normal(0, self.noise, big.shape)
+        return np.clip(noisy, 0, 255).astype(np.uint8), klass
+
+    def make_bytes(self, image_id: int, klass: int | None = None):
+        """Flattened raw bytes of one image; returns (bytes array, class)."""
+        img, k = self.make(image_id, klass)
+        return img.reshape(-1), k
+
+
+def downscale(image: np.ndarray, out_res: int = CLASSIFIER_RES) -> np.ndarray:
+    """Area-average downscale of an HxWx3 uint8 image (the scaler PE's math).
+
+    The paper: "we scale the images down to 224x224 pixels".
+    """
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ConfigError(f"expected HxWx3 image, got shape {image.shape}")
+    h, w, _ = image.shape
+    if h < out_res or w < out_res:
+        raise ConfigError("cannot upscale in the downscaler")
+    # Integer-factor area averaging over the largest covered region.
+    fh, fw = h // out_res, w // out_res
+    cropped = image[:fh * out_res, :fw * out_res, :].astype(np.uint32)
+    blocks = cropped.reshape(out_res, fh, out_res, fw, 3)
+    return (blocks.mean(axis=(1, 3))).astype(np.uint8)

@@ -1,0 +1,9 @@
+"""Experiment harness: regenerate every table and figure of the paper."""
+
+from .paper import Band, FIG4A, FIG4B, FIG4C, FIG6, FIG7_ORDER, TABLE1
+from .runner import ExperimentResult, ExperimentRow
+
+__all__ = [
+    "Band", "FIG4A", "FIG4B", "FIG4C", "FIG6", "FIG7_ORDER", "TABLE1",
+    "ExperimentResult", "ExperimentRow",
+]

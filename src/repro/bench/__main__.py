@@ -1,0 +1,68 @@
+"""Run the full reproduction: ``python -m repro.bench [--quick]``.
+
+Regenerates every table and figure of the paper plus the ablations, and
+prints measured-vs-paper comparison tables.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from .experiments.ablations import (ablation_buffer_size,
+                                    ablation_burst_coalescing,
+                                    ablation_flow_control, ablation_gen5,
+                                    ablation_hbm, ablation_multi_ssd,
+                                    ablation_ooo, ablation_queue_depth)
+from .experiments.fig4 import run_fig4a, run_fig4b, run_fig4c
+from .experiments.fig6_fig7 import (fig6_from_results, fig7_from_results,
+                                    run_case_study_all)
+from .experiments.table1 import run_table1
+from ..units import MiB
+
+
+def main(argv=None) -> int:
+    """Entry point; returns a process exit code."""
+    argv = argv if argv is not None else sys.argv[1:]
+    quick = "--quick" in argv
+    seq_bytes = 128 * MiB if quick else 512 * MiB
+    rand_bytes = 16 * MiB if quick else 32 * MiB
+    images = 24 if quick else 48
+
+    stages = [
+        ("Table 1", lambda: run_table1()),
+        ("Fig 4a", lambda: run_fig4a(transfer_bytes=seq_bytes)),
+        ("Fig 4b", lambda: run_fig4b(transfer_bytes=rand_bytes)),
+        ("Fig 4c", lambda: run_fig4c(samples=150 if quick else 250)),
+    ]
+    ok = True
+    for label, fn in stages:
+        t0 = time.time()
+        result = fn()
+        print(result.render())
+        print(f"   ({label}: {time.time() - t0:.1f}s)\n")
+        ok = ok and result.all_in_band
+
+    t0 = time.time()
+    cs = run_case_study_all(n_images=images,
+                            warmup_images=4 if quick else 8)
+    for result in (fig6_from_results(cs), fig7_from_results(cs)):
+        print(result.render())
+        print()
+        ok = ok and result.all_in_band
+    print(f"   (case study: {time.time() - t0:.1f}s)\n")
+
+    for fn in (ablation_queue_depth, ablation_ooo, ablation_gen5,
+               ablation_multi_ssd, ablation_hbm, ablation_burst_coalescing,
+               ablation_flow_control, ablation_buffer_size):
+        t0 = time.time()
+        result = fn()
+        print(result.render())
+        print(f"   ({time.time() - t0:.1f}s)\n")
+
+    print("ALL PAPER BANDS HIT" if ok else "SOME ROWS OUT OF BAND")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,1 @@
+"""One module per reproduced table/figure, plus the ablation studies."""

@@ -1,0 +1,37 @@
+"""Table 1 reproduction: FPGA resource utilization of the NVMe Streamer."""
+
+from __future__ import annotations
+
+from ...fpga.resources import ALVEO_U280, StreamerAreaModel
+from ...units import MiB
+from ..paper import Band, TABLE1
+from ..runner import ExperimentResult
+
+__all__ = ["run_table1"]
+
+
+def run_table1() -> ExperimentResult:
+    """Synthesized-area estimates vs the paper's Table 1 (exact targets)."""
+    result = ExperimentResult("table1", "NVMe Streamer FPGA utilization")
+    for variant, expected in TABLE1.items():
+        report = StreamerAreaModel.for_variant(variant)
+        result.add("LUT", variant, report.lut, "LUTs",
+                   Band.point(expected["LUT"], tol=0.001))
+        result.add("FF", variant, report.ff, "FFs",
+                   Band.point(expected["FF"], tol=0.001))
+        result.add("BRAM", variant, report.bram36, "BRAM36",
+                   Band(expected["BRAM"] - 0.01, expected["BRAM"] + 0.01))
+        result.add("URAM", variant, report.uram_bytes / MiB, "MiB",
+                   Band(expected["URAM_MiB"] - 0.01,
+                        expected["URAM_MiB"] + 0.01))
+        result.add("DRAM", variant, report.dram_bytes / MiB, "MiB",
+                   Band(expected["DRAM_MiB"] - 0.01,
+                        expected["DRAM_MiB"] + 0.01))
+        result.add("PINNED", variant, report.pinned_host_bytes / MiB, "MiB",
+                   Band(expected["PINNED_MiB"] - 0.01,
+                        expected["PINNED_MiB"] + 0.01))
+        pct = report.percentages(ALVEO_U280)
+        result.add("LUT_pct", variant, pct["LUT"], "%")
+        result.add("FF_pct", variant, pct["FF"], "%")
+        result.add("URAM_pct", variant, pct["URAM"], "%")
+    return result

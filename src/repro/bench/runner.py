@@ -1,0 +1,72 @@
+"""Experiment result containers and text rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .paper import Band
+
+__all__ = ["ExperimentRow", "ExperimentResult"]
+
+
+@dataclass
+class ExperimentRow:
+    """One measured cell compared against the paper."""
+
+    series: str            # e.g. 'seq_read'
+    system: str            # e.g. 'uram'
+    measured: float
+    unit: str
+    expected: Optional[Band] = None
+
+    @property
+    def in_band(self) -> Optional[bool]:
+        """True/False vs the paper band; None when no target exists."""
+        if self.expected is None:
+            return None
+        return self.expected.contains(self.measured)
+
+
+@dataclass
+class ExperimentResult:
+    """All rows of one table/figure reproduction."""
+
+    experiment: str        # 'fig4a', 'table1', ...
+    title: str
+    rows: List[ExperimentRow] = field(default_factory=list)
+
+    def add(self, series: str, system: str, measured: float, unit: str,
+            expected: Optional[Band] = None) -> None:
+        """Record one measurement."""
+        self.rows.append(ExperimentRow(series=series, system=system,
+                                       measured=measured, unit=unit,
+                                       expected=expected))
+
+    def row(self, series: str, system: str) -> ExperimentRow:
+        """Look up a cell (raises when absent)."""
+        for r in self.rows:
+            if r.series == series and r.system == system:
+                return r
+        raise KeyError(f"{self.experiment}: no row ({series}, {system})")
+
+    @property
+    def all_in_band(self) -> bool:
+        """True when every row with a target hits its paper band."""
+        return all(r.in_band is not False for r in self.rows)
+
+    def render(self) -> str:
+        """Text table: measured vs paper."""
+        out = [f"== {self.experiment}: {self.title} =="]
+        width = max((len(f"{r.series}/{r.system}") for r in self.rows),
+                    default=10)
+        for r in self.rows:
+            name = f"{r.series}/{r.system}".ljust(width)
+            target = f"  paper {r.expected}" if r.expected else ""
+            mark = ""
+            if r.in_band is True:
+                mark = "  [in band]"
+            elif r.in_band is False:
+                mark = "  [OUT OF BAND]"
+            out.append(f"  {name}  {r.measured:8.2f} {r.unit}{target}{mark}")
+        return "\n".join(out)

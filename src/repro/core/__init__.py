@@ -1,0 +1,24 @@
+"""SNAcc core: the NVMe Streamer, its PRP engines, ROB, and host driver."""
+
+from .buffer_mgr import ExtentAllocator
+from .config import StreamerConfig, StreamerVariant, default_config_for
+from .driver import SnaccDriver
+from .prp_engine import RegfilePrpEngine, UramPrpEngine
+from .reorder import ReorderBuffer, RobEntry
+from .splitter import Segment, split_command
+from .stream_adapter import (SnaccUserPort, data_flits, read_command_flit,
+                             write_command_flit)
+from .streamer import NvmeStreamer, StreamerStats
+from .system import SnaccSystem, build_snacc_system
+
+__all__ = [
+    "ExtentAllocator",
+    "StreamerConfig", "StreamerVariant", "default_config_for",
+    "SnaccDriver",
+    "RegfilePrpEngine", "UramPrpEngine",
+    "ReorderBuffer", "RobEntry",
+    "Segment", "split_command",
+    "SnaccUserPort", "data_flits", "read_command_flit", "write_command_flit",
+    "NvmeStreamer", "StreamerStats",
+    "SnaccSystem", "build_snacc_system",
+]

@@ -1,0 +1,132 @@
+"""Data-buffer allocation (paper §4.3).
+
+The streamers carve command payloads out of their buffer memory: "To
+simplify control logic, each new read and write command starts at a 4 kB
+boundary, with a maximum of 1 MB per command", and the streamer "only
+request[s] as much data as can fit in our available data buffer" — i.e.
+allocation failure back-pressures command issue.
+
+Allocations must be **contiguous** (on-the-fly PRP synthesis relies on it);
+frees may arrive in any order relative to other traffic class' allocations
+(read buffers free after draining to the PE, write buffers free at
+retirement), so this is a first-fit extent allocator at 4 KiB granularity
+rather than a ring.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import StreamerError
+from ..sim.core import Event, Simulator
+from ..units import KiB, align_up
+
+__all__ = ["ExtentAllocator"]
+
+_ALIGN = 4 * KiB
+
+
+class ExtentAllocator:
+    """First-fit contiguous allocator over ``[0, capacity)``, 4 KiB grains."""
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "buf"):
+        if capacity < _ALIGN or capacity % _ALIGN:
+            raise StreamerError(
+                f"capacity must be a 4 KiB multiple >= 4 KiB, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._free: List[Tuple[int, int]] = [(0, capacity)]  # sorted (off, size)
+        self._live: Dict[int, int] = {}
+        self._space_kick = Event(sim)
+        self.high_watermark = 0
+
+    @property
+    def used(self) -> int:
+        """Currently allocated bytes (including 4 KiB padding)."""
+        return sum(self._live.values())
+
+    @property
+    def free_bytes(self) -> int:
+        """Unallocated bytes (may be fragmented)."""
+        return self.capacity - self.used
+
+    def try_allocate(self, nbytes: int) -> Optional[int]:
+        """Non-blocking first-fit allocate; returns offset or None."""
+        if nbytes <= 0:
+            raise StreamerError(f"allocation must be > 0 bytes, got {nbytes}")
+        size = align_up(nbytes, _ALIGN)
+        if size > self.capacity:
+            raise StreamerError(
+                f"{self.name}: allocation {size} exceeds capacity "
+                f"{self.capacity}")
+        for i, (off, extent) in enumerate(self._free):
+            if extent >= size:
+                if extent == size:
+                    del self._free[i]
+                else:
+                    self._free[i] = (off + size, extent - size)
+                self._live[off] = size
+                self.high_watermark = max(self.high_watermark, self.used)
+                return off
+        return None
+
+    def allocate(self, nbytes: int):
+        """Generator: allocate, blocking until space is available."""
+        while True:
+            off = self.try_allocate(nbytes)
+            if off is not None:
+                return off
+            yield self._space_kick
+
+    def shrink(self, offset: int, new_bytes: int) -> None:
+        """Trim an allocation (write path over-allocates one command's max)."""
+        size = self._live.get(offset)
+        if size is None:
+            raise StreamerError(f"{self.name}: shrink of unknown extent "
+                                f"{offset:#x}")
+        new_size = align_up(max(1, new_bytes), _ALIGN)
+        if new_size > size:
+            raise StreamerError(
+                f"{self.name}: cannot grow extent ({new_size} > {size})")
+        if new_size == size:
+            return
+        self._live[offset] = new_size
+        self._insert_free(offset + new_size, size - new_size)
+        self._kick()
+
+    def free(self, offset: int) -> None:
+        """Release an allocation (any order)."""
+        size = self._live.pop(offset, None)
+        if size is None:
+            raise StreamerError(f"{self.name}: free of unknown extent "
+                                f"{offset:#x}")
+        self._insert_free(offset, size)
+        self._kick()
+
+    def _insert_free(self, off: int, size: int) -> None:
+        """Insert and coalesce a free extent."""
+        lo, hi = 0, len(self._free)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._free[mid][0] < off:
+                lo = mid + 1
+            else:
+                hi = mid
+        self._free.insert(lo, (off, size))
+        # Coalesce with the successor, then the predecessor.
+        if lo + 1 < len(self._free):
+            noff, nsize = self._free[lo + 1]
+            if off + size == noff:
+                self._free[lo] = (off, size + nsize)
+                del self._free[lo + 1]
+        if lo > 0:
+            poff, psize = self._free[lo - 1]
+            coff, csize = self._free[lo]
+            if poff + psize == coff:
+                self._free[lo - 1] = (poff, psize + csize)
+                del self._free[lo]
+
+    def _kick(self) -> None:
+        kick, self._space_kick = self._space_kick, Event(self.sim)
+        kick.succeed()

@@ -1,0 +1,89 @@
+"""SNAcc host-side initialization (paper §4.6).
+
+The paper deliberately keeps NVMe *initialization* on the host: "(1)
+Initialization is not performance-critical and only executed once ...
+(2) Managing the NVMe admin queue ... on the FPGA side limits system
+debuggability".  This driver models the TaPaSCo kernel driver plus SNAcc's
+custom PCIe driver:
+
+* sets up the NVMe admin queue in host memory and enables the controller;
+* uses admin commands to create the IO queue pair **inside the streamer's
+  BAR** — the submission queue the controller will fetch from over P2P and
+  the completion region backing the reorder buffer;
+* grants the IOMMU windows needed for P2P (§4: "permissions must be
+  granted by the IOMMU");
+* programs the streamer with the controller's doorbell location.
+
+After :meth:`initialize` returns, the host is out of the loop entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import NVMeError
+from ..mem.hostmem import PinnedAllocator
+from ..nvme.admin import AdminQueueClient
+from ..nvme.device import NVME_BAR_SIZE, NvmeDevice
+from ..pcie.root_complex import PcieFabric
+from ..sim.core import Simulator
+from .config import StreamerVariant
+from .streamer import NvmeStreamer
+
+__all__ = ["SnaccDriver"]
+
+
+class SnaccDriver:
+    """Brings up one NVMe Streamer against one SSD."""
+
+    def __init__(self, sim: Simulator, fabric: PcieFabric, ssd: NvmeDevice,
+                 streamer: NvmeStreamer, allocator: PinnedAllocator,
+                 host_mem_base: int, io_qid: int = 1):
+        self.sim = sim
+        self.fabric = fabric
+        self.ssd = ssd
+        self.streamer = streamer
+        self.io_qid = io_qid
+        self.admin = AdminQueueClient(sim, fabric, ssd.controller,
+                                      ssd.config.bar_base, allocator,
+                                      host_mem_base)
+        self._allocator = allocator
+        self.identify_data: Optional[bytes] = None
+        self.initialized = False
+
+    def initialize(self):
+        """Generator: full bring-up; afterwards the FPGA runs autonomously."""
+        if self.initialized:
+            raise NVMeError("SNAcc driver already initialized")
+        self._grant_iommu()
+        yield from self.admin.initialize()
+        self.identify_data = yield from self.admin.identify(cns=1)
+        depth = self.streamer.config.queue_depth
+        # IO queues live in the streamer's BAR: the CQ is the reorder
+        # buffer's completion region, the SQ is the streamer's FIFO.
+        yield from self.admin.create_io_cq(self.io_qid,
+                                           self.streamer.cq_window,
+                                           self.streamer.cq_entries)
+        yield from self.admin.create_io_sq(self.io_qid,
+                                           self.streamer.sq_window, depth,
+                                           cqid=self.io_qid)
+        self.streamer.program_doorbell(self.io_qid)
+        self.streamer.start()
+        self.initialized = True
+
+    def _grant_iommu(self) -> None:
+        iommu = self.fabric.iommu
+        ssd_name = self.ssd.config.name
+        fpga = self.streamer.platform
+        fpga_name = fpga.config.name
+        # SSD -> FPGA BARs (SQE fetch, PRP reads, data, CQE writes).
+        iommu.grant(ssd_name, fpga.config.bar_base, fpga.config.bar_size)
+        iommu.grant(ssd_name, fpga.config.bar2_base, fpga.config.bar2_size)
+        # FPGA -> SSD doorbells.
+        iommu.grant(fpga_name, self.ssd.config.bar_base, NVME_BAR_SIZE)
+        # SSD + FPGA -> pinned host buffers (admin queues; host-DRAM variant
+        # data buffers and their fill/drain DMA).
+        region = self._allocator.region
+        iommu.grant(ssd_name, region.base, region.size)
+        if self.streamer.config.variant == StreamerVariant.HOST_DRAM:
+            iommu.grant(fpga_name, region.base, region.size)

@@ -1,0 +1,152 @@
+"""On-the-fly PRP computation (paper §4.4, Figs 2 and 3).
+
+Instead of storing PRP lists in memory, the streamers *synthesize* list
+entries when the NVMe controller reads them: buffers are contiguous and
+streamed in order, so "the n-th PRP entry can be easily calculated by
+adding n x 4096 to the address of the first PRP entry in the list".
+
+Two schemes:
+
+* :class:`UramPrpEngine` (Fig 2) — the 4 MiB URAM address space is doubled
+  to 8 MiB; bit 22 of the second PRP entry selects the upper half, and a
+  read at upper-half offset ``q + m`` returns ``base + q + (m/8) * 4096``.
+* :class:`RegfilePrpEngine` (Fig 3) — DRAM variants keep PRP lists in a
+  separate, small window indexed by the low bits of the command id; a
+  register file holds the second data page of each active command.  The
+  host-DRAM variant additionally routes every computed entry through the
+  4 MiB-chunk translation ("some overhead in address calculations").
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, List, Optional
+
+from ..errors import StreamerError
+from ..units import PAGE, align_down, is_aligned
+
+__all__ = ["UramPrpEngine", "RegfilePrpEngine"]
+
+
+def _pack_entries(entries: List[int]) -> bytes:
+    return struct.pack(f"<{len(entries)}Q", *entries)
+
+
+class UramPrpEngine:
+    """Bit-mirror scheme over a power-of-two URAM buffer window."""
+
+    def __init__(self, window_base: int, buffer_bytes: int):
+        if buffer_bytes & (buffer_bytes - 1):
+            raise StreamerError(
+                f"URAM buffer must be a power of two, got {buffer_bytes}")
+        if window_base % (2 * buffer_bytes):
+            raise StreamerError(
+                f"window base {window_base:#x} must be aligned to the "
+                f"doubled address space ({2 * buffer_bytes:#x})")
+        self.window_base = window_base
+        self.buffer_bytes = buffer_bytes
+        #: the paper's "bit 22" for a 4 MiB buffer
+        self.mirror_bit = buffer_bytes.bit_length() - 1
+
+    @property
+    def window_bytes(self) -> int:
+        """Total BAR window: data half plus PRP mirror half."""
+        return 2 * self.buffer_bytes
+
+    def entries_for(self, buf_offset: int, npages: int, slot: int = 0):
+        """(prp1, prp2) for a command at *buf_offset* spanning *npages*."""
+        if not is_aligned(buf_offset, PAGE):
+            raise StreamerError(f"buffer offset {buf_offset:#x} not page aligned")
+        if npages < 1:
+            raise StreamerError(f"npages must be >= 1, got {npages}")
+        prp1 = self.window_base + buf_offset
+        if npages == 1:
+            return prp1, 0
+        second = buf_offset + PAGE
+        if npages == 2:
+            return prp1, self.window_base + second
+        # PRP list: point at the mirror of the second data page (bit set).
+        return prp1, self.window_base + self.buffer_bytes + second
+
+    def synth_read(self, mirror_offset: int, nbytes: int) -> bytes:
+        """Serve a controller read from the PRP mirror half.
+
+        *mirror_offset* is relative to the mirror (upper) half.
+        """
+        if nbytes % 8:
+            raise StreamerError(f"PRP read of {nbytes} bytes not entry aligned")
+        if mirror_offset < 0 or mirror_offset + nbytes > self.buffer_bytes:
+            raise StreamerError(
+                f"PRP mirror read [{mirror_offset:#x}, "
+                f"{mirror_offset + nbytes:#x}) outside mirror space")
+        q = align_down(mirror_offset, PAGE)
+        m = mirror_offset - q
+        first_index = m // 8
+        entries = [self.window_base + q + (first_index + k) * PAGE
+                   for k in range(nbytes // 8)]
+        return _pack_entries(entries)
+
+
+class RegfilePrpEngine:
+    """Register-file scheme: per-slot second-page records, separate window."""
+
+    def __init__(self, prp_window_base: int, nslots: int):
+        if nslots < 1:
+            raise StreamerError(f"nslots must be >= 1, got {nslots}")
+        self.prp_window_base = prp_window_base
+        self.nslots = nslots
+        #: per-slot (second-page logical offset, translate fn)
+        self._regfile: List[Optional[tuple]] = [None] * nslots
+
+    @property
+    def window_bytes(self) -> int:
+        """PRP window size: one synthetic list page per slot."""
+        return self.nslots * PAGE
+
+    def entries_for(self, buf_offset: int, npages: int, slot: int = 0,
+                    translate: Optional[Callable[[int], int]] = None):
+        """(prp1, prp2); records the slot's second page in the register file.
+
+        *translate* maps a logical buffer offset to a bus address: the
+        chunk-table lookup for the host-DRAM variant, identity for
+        on-board DRAM (whose *buf_offset* is already a bus address).  It is
+        stored per slot, so concurrently active commands over different
+        buffers resolve correctly.
+        """
+        if not is_aligned(buf_offset, PAGE):
+            raise StreamerError(f"buffer offset {buf_offset:#x} not page aligned")
+        if not 0 <= slot < self.nslots:
+            raise StreamerError(f"slot {slot} outside register file")
+        if npages < 1:
+            raise StreamerError(f"npages must be >= 1, got {npages}")
+        fn = translate if translate is not None else (lambda off: off)
+        prp1 = fn(buf_offset)
+        if npages == 1:
+            return prp1, 0
+        if npages == 2:
+            return prp1, fn(buf_offset + PAGE)
+        self._regfile[slot] = (buf_offset + PAGE, fn)
+        return prp1, self.prp_window_base + slot * PAGE
+
+    def release(self, slot: int) -> None:
+        """Clear the slot's register (command retired)."""
+        if not 0 <= slot < self.nslots:
+            raise StreamerError(f"slot {slot} outside register file")
+        self._regfile[slot] = None
+
+    def synth_read(self, window_offset: int, nbytes: int) -> bytes:
+        """Serve a controller read from the PRP window."""
+        if nbytes % 8:
+            raise StreamerError(f"PRP read of {nbytes} bytes not entry aligned")
+        slot, m = divmod(window_offset, PAGE)
+        if not 0 <= slot < self.nslots or m + nbytes > PAGE:
+            raise StreamerError(
+                f"PRP window read [{window_offset:#x}, +{nbytes}) invalid")
+        record = self._regfile[slot]
+        if record is None:
+            raise StreamerError(f"PRP read for inactive slot {slot}")
+        second, fn = record
+        first_index = m // 8
+        entries = [fn(second + (first_index + k) * PAGE)
+                   for k in range(nbytes // 8)]
+        return _pack_entries(entries)

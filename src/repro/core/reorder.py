@@ -1,0 +1,176 @@
+"""Completion reorder buffer with in-order retirement (paper §4.2).
+
+"The completion queue is implemented as a reorder buffer containing the
+necessary information to finalize processing for each command, along with
+one bit indicating its completion status.  While the completion bits may be
+set out-of-order, the NVMe Streamer processes them in-order."
+
+The ROB doubles as the issue window: a command can only be issued while its
+ring slot is free — the paper's §7 observation that the in-order model
+"issues new commands only after the first previous command is completed".
+Command identifiers map to slots by ``cid % depth`` (depth is a power of
+two so the 15-bit CID space wraps consistently).
+
+The out-of-order extension (§7 future work) relaxes *retirement*: the
+oldest **completed** command may retire even while an older one is pending,
+unblocking its ring slot for new issues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..errors import StreamerError
+from ..sim.core import Event, Simulator
+
+__all__ = ["RobEntry", "ReorderBuffer"]
+
+
+@dataclass
+class RobEntry:
+    """Per-command state the streamer needs to finalize processing."""
+
+    kind: str                     # 'read' | 'write'
+    device_addr: int
+    nbytes: int
+    buf_offset: int
+    user_last: bool               # last segment of the user command
+    #: user-command id; OoO retirement keeps segments of one user command
+    #: in order (§7: "must appropriately handle large transfers split
+    #: across multiple commands while maintaining correct processing order")
+    user_id: int = -1
+    meta: Dict[str, Any] = field(default_factory=dict)
+    done: bool = False
+    status: int = 0
+    cid: int = -1
+    seq: int = -1
+
+    @property
+    def ok(self) -> bool:
+        """True when the device completed the command successfully."""
+        return self.status == 0
+
+
+class ReorderBuffer:
+    """Fixed ring of command slots; completion bits set OoO, retired in order."""
+
+    def __init__(self, sim: Simulator, depth: int, name: str = "rob",
+                 out_of_order: bool = False):
+        if depth < 1 or depth & (depth - 1):
+            raise StreamerError(
+                f"ROB depth must be a power of two >= 1, got {depth}")
+        self.sim = sim
+        self.depth = depth
+        self.name = name
+        self.out_of_order = out_of_order
+        self._slots: List[Optional[RobEntry]] = [None] * depth
+        self._head_seq = 0        # oldest possibly-live sequence number
+        self._issue_seq = 0       # next sequence number to issue
+        self._retired = 0
+        self._slot_kick = Event(sim)
+        self._done_kick = Event(sim)
+        # OoO mode: slots come from a free list (a retired middle slot is
+        # immediately reusable) with per-slot epochs keeping CIDs unique;
+        # cid % depth == slot still holds because epochs step by `depth`.
+        self._free_slots: List[int] = list(range(depth))
+        self._slot_epoch: List[int] = [0] * depth
+
+    # -- issue side ---------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Commands issued but not yet retired."""
+        return self._issue_seq - self._retired
+
+    def try_allocate(self, entry: RobEntry) -> Optional[int]:
+        """Non-blocking slot claim; returns the command id or None when full."""
+        if self.out_of_order:
+            if not self._free_slots:
+                return None
+            slot = self._free_slots.pop(0)
+            entry.seq = self._issue_seq
+            entry.cid = (slot + self._slot_epoch[slot] * self.depth) & 0x7FFF
+            self._slot_epoch[slot] = \
+                (self._slot_epoch[slot] + 1) % max(1, 0x8000 // self.depth)
+        else:
+            slot = self._issue_seq % self.depth
+            if self._slots[slot] is not None:
+                return None
+            entry.seq = self._issue_seq
+            entry.cid = self._issue_seq & 0x7FFF
+        self._slots[slot] = entry
+        self._issue_seq += 1
+        return entry.cid
+
+    def allocate(self, entry: RobEntry):
+        """Generator: claim the next slot (blocks while the window is full)."""
+        while True:
+            cid = self.try_allocate(entry)
+            if cid is not None:
+                return cid
+            yield self._slot_kick
+
+    # -- completion side -------------------------------------------------------------
+    def complete(self, cid: int, status: int) -> None:
+        """Mark the command's completion bit (possibly out of order)."""
+        slot = cid % self.depth
+        entry = self._slots[slot]
+        if entry is None or entry.cid != cid:
+            raise StreamerError(
+                f"{self.name}: completion for unknown cid {cid} (slot {slot})")
+        if entry.done:
+            raise StreamerError(f"{self.name}: duplicate completion cid {cid}")
+        entry.done = True
+        entry.status = status
+        kick, self._done_kick = self._done_kick, Event(self.sim)
+        kick.succeed()
+
+    # -- retire side ------------------------------------------------------------------
+    def pop_next(self):
+        """Generator: wait for and claim the next retirable entry.
+
+        In-order mode: strictly the oldest live command.  Out-of-order
+        mode: the oldest *completed* live command.  Retiring frees the ring
+        slot for new issues.
+        """
+        while True:
+            entry = self._find_retirable()
+            if entry is not None:
+                slot = entry.cid % self.depth
+                self._slots[slot] = None
+                self._retired += 1
+                if self.out_of_order:
+                    self._free_slots.append(slot)
+                else:
+                    while (self._head_seq < self._issue_seq
+                           and self._slots[self._head_seq % self.depth]
+                           is None):
+                        self._head_seq += 1
+                kick, self._slot_kick = self._slot_kick, Event(self.sim)
+                kick.succeed()
+                return entry
+            yield self._done_kick
+
+    def _find_retirable(self) -> Optional[RobEntry]:
+        if self.out_of_order:
+            live = [e for e in self._slots if e is not None]
+            best: Optional[RobEntry] = None
+            for entry in live:
+                if not entry.done:
+                    continue
+                # segments of the same user command retire strictly in
+                # order (user_id < 0 = ungrouped, no constraint)
+                blocked = entry.user_id >= 0 and any(
+                    o.user_id == entry.user_id and o.seq < entry.seq
+                    for o in live)
+                if blocked:
+                    continue
+                if best is None or entry.seq < best.seq:
+                    best = entry
+            return best
+        if self._head_seq >= self._issue_seq:
+            return None  # empty
+        head = self._slots[self._head_seq % self.depth]
+        if head is not None and head.done:
+            return head
+        return None

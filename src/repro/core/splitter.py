@@ -1,0 +1,53 @@
+"""Command splitting (paper §4.2).
+
+User commands of arbitrary length are split for the NVMe device: "Large
+write commands are split at each 1 MB boundary into individual commands",
+and reads "exceeding the maximum supported read length per command ... must
+be split into multiple smaller commands".  Splitting is at *device-address*
+boundaries, so a transfer starting mid-segment gets a short head piece.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import StreamerError
+
+__all__ = ["Segment", "split_command"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One device-side command: address, length, last-of-user-command flag."""
+
+    device_addr: int
+    nbytes: int
+    last: bool
+
+
+def split_command(device_addr: int, nbytes: int,
+                  max_cmd_bytes: int) -> List[Segment]:
+    """Split a user transfer at *max_cmd_bytes* device-address boundaries.
+
+    >>> [s.nbytes for s in split_command(0, 3 << 20, 1 << 20)]
+    [1048576, 1048576, 1048576]
+    >>> [s.nbytes for s in split_command(0xC0000, 1 << 20, 1 << 20)]
+    [262144, 786432]
+    """
+    if nbytes <= 0:
+        raise StreamerError(f"transfer length must be > 0, got {nbytes}")
+    if device_addr < 0:
+        raise StreamerError(f"negative device address {device_addr:#x}")
+    if max_cmd_bytes <= 0:
+        raise StreamerError(f"max_cmd_bytes must be > 0, got {max_cmd_bytes}")
+    out: List[Segment] = []
+    addr = device_addr
+    remaining = nbytes
+    while remaining > 0:
+        boundary = (addr // max_cmd_bytes + 1) * max_cmd_bytes
+        take = min(remaining, boundary - addr)
+        remaining -= take
+        out.append(Segment(device_addr=addr, nbytes=take, last=remaining == 0))
+        addr += take
+    return out

@@ -1,0 +1,134 @@
+"""User-PE stream protocol (paper §4.1).
+
+The streamer abstracts NVMe behind four AXI4-Stream interfaces:
+
+* **read command** (①a): one beat carrying device address and length;
+* **read data** (⑥a): payload stream, TLAST on the final beat;
+* **write** (①b): first beat carries the device address, followed by the
+  payload; TLAST implies the length;
+* **write response** (⑥b): one token per completed user write.
+
+:class:`SnaccUserPort` is the host-side convenience wrapper playing the
+role of a user PE in tests, examples and benchmarks — real PEs (the case
+study's database controller) drive the same four streams directly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import StreamerError
+from ..fpga.axi import AxiStream, StreamFlit
+from ..mem.base import as_bytes_array
+from ..sim.core import Simulator
+
+__all__ = ["read_command_flit", "write_command_flit", "data_flits",
+           "SnaccUserPort"]
+
+#: wire size of a command beat on the 512-bit streams
+COMMAND_BEAT_BYTES = 64
+
+
+def read_command_flit(device_addr: int, nbytes: int) -> StreamFlit:
+    """Build the ①a command beat."""
+    if nbytes <= 0:
+        raise StreamerError(f"read length must be > 0, got {nbytes}")
+    return StreamFlit(nbytes=COMMAND_BEAT_BYTES, last=True,
+                      meta={"op": "read", "addr": device_addr, "len": nbytes})
+
+
+def write_command_flit(device_addr: int) -> StreamFlit:
+    """Build the ①b address beat (length is implied by TLAST)."""
+    return StreamFlit(nbytes=COMMAND_BEAT_BYTES, last=False,
+                      meta={"op": "write", "addr": device_addr})
+
+
+def data_flits(nbytes: int, data: Optional[np.ndarray],
+               chunk_bytes: int) -> List[StreamFlit]:
+    """Split a payload into stream flits of *chunk_bytes*, TLAST on the end."""
+    if nbytes <= 0:
+        raise StreamerError(f"payload must be > 0 bytes, got {nbytes}")
+    out: List[StreamFlit] = []
+    pos = 0
+    while pos < nbytes:
+        take = min(chunk_bytes, nbytes - pos)
+        chunk = None if data is None else data[pos:pos + take]
+        pos += take
+        out.append(StreamFlit(nbytes=take, data=chunk, last=pos == nbytes))
+    return out
+
+
+class SnaccUserPort:
+    """Drives a streamer's four user streams like a PE would."""
+
+    def __init__(self, sim: Simulator, rd_cmd: AxiStream, rd_data: AxiStream,
+                 wr: AxiStream, wr_resp: AxiStream,
+                 chunk_bytes: int = 32 * 1024):
+        self.sim = sim
+        self.rd_cmd = rd_cmd
+        self.rd_data = rd_data
+        self.wr = wr
+        self.wr_resp = wr_resp
+        self.chunk_bytes = chunk_bytes
+
+    # -- reads ------------------------------------------------------------------
+    def issue_read(self, device_addr: int, nbytes: int):
+        """Generator: send a read command (data collected separately)."""
+        yield from self.rd_cmd.send(read_command_flit(device_addr, nbytes))
+
+    def collect_read(self, functional: bool = True):
+        """Generator: receive one user read's data (until TLAST).
+
+        Returns the payload array (or just the byte count when
+        ``functional=False``).  Raises on an error status from the streamer.
+        """
+        chunks: List[np.ndarray] = []
+        total = 0
+        while True:
+            flit = yield from self.rd_data.recv()
+            status = flit.meta.get("status", 0)
+            if status:
+                raise StreamerError(f"read failed with NVMe status {status:#x}")
+            total += flit.nbytes
+            if flit.data is not None:
+                chunks.append(flit.data)
+            if flit.last:
+                break
+        if functional and chunks:
+            return np.concatenate(chunks)
+        return total
+
+    def read(self, device_addr: int, nbytes: int, functional: bool = True):
+        """Generator: blocking read; returns payload (or byte count)."""
+        yield from self.issue_read(device_addr, nbytes)
+        result = yield from self.collect_read(functional=functional)
+        return result
+
+    # -- writes ------------------------------------------------------------------
+    def issue_write(self, device_addr: int, data=None,
+                    nbytes: Optional[int] = None):
+        """Generator: send address beat + payload (response collected later)."""
+        arr = None
+        if data is not None:
+            arr = as_bytes_array(data)
+            nbytes = len(arr)
+        if nbytes is None or nbytes <= 0:
+            raise StreamerError("write needs data or a positive nbytes")
+        yield from self.wr.send(write_command_flit(device_addr))
+        for flit in data_flits(nbytes, arr, self.chunk_bytes):
+            yield from self.wr.send(flit)
+
+    def collect_write_response(self):
+        """Generator: wait for one write-response token; raises on error."""
+        flit = yield from self.wr_resp.recv()
+        status = flit.meta.get("status", 0)
+        if status:
+            raise StreamerError(f"write failed with NVMe status {status:#x}")
+        return flit
+
+    def write(self, device_addr: int, data=None, nbytes: Optional[int] = None):
+        """Generator: blocking write of *data* (or sized-only *nbytes*)."""
+        yield from self.issue_write(device_addr, data=data, nbytes=nbytes)
+        yield from self.collect_write_response()

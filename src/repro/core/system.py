@@ -1,0 +1,66 @@
+"""Fully assembled SNAcc systems (host + SSD + FPGA + streamer)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..fpga.platform import FpgaPlatform, FpgaPlatformConfig
+from ..sim.core import Simulator
+from ..systems import HOST_MEM_BASE, HostSystem, HostSystemConfig, \
+    build_host_system
+from .config import StreamerConfig, StreamerVariant, default_config_for
+from .driver import SnaccDriver
+from .stream_adapter import SnaccUserPort
+from .streamer import NvmeStreamer
+
+__all__ = ["SnaccSystem", "build_snacc_system"]
+
+
+@dataclass
+class SnaccSystem:
+    """Handles of a built SNAcc system."""
+
+    host: HostSystem
+    platform: FpgaPlatform
+    streamer: NvmeStreamer
+    driver: SnaccDriver
+    user: SnaccUserPort
+
+    @property
+    def sim(self) -> Simulator:
+        """The simulation clock shared by everything."""
+        return self.host.sim
+
+    def initialize(self) -> None:
+        """Run host-side bring-up to completion (blocking helper)."""
+        self.sim.run_process(self.driver.initialize())
+
+
+def build_snacc_system(sim: Simulator,
+                       variant: StreamerVariant = StreamerVariant.URAM,
+                       host_config: HostSystemConfig = HostSystemConfig(),
+                       streamer_config: Optional[StreamerConfig] = None,
+                       platform_config: FpgaPlatformConfig = FpgaPlatformConfig(),
+                       ) -> SnaccSystem:
+    """Assemble host + SSD + FPGA + NVMe Streamer + user port.
+
+    ``streamer_config`` defaults to the paper's configuration of *variant*.
+    Call :meth:`SnaccSystem.initialize` (or run ``driver.initialize()``
+    yourself) before using the user port.
+    """
+    cfg = streamer_config if streamer_config is not None \
+        else default_config_for(variant)
+    host = build_host_system(sim, host_config)
+    platform = FpgaPlatform(sim, host.fabric, platform_config)
+    streamer = NvmeStreamer(sim, platform, host.ssd, cfg,
+                            pinned_allocator=host.allocator,
+                            host_mem_base=HOST_MEM_BASE)
+    streamer.functional = host_config.functional
+    driver = SnaccDriver(sim, host.fabric, host.ssd, streamer,
+                         host.allocator, HOST_MEM_BASE)
+    user = SnaccUserPort(sim, streamer.rd_cmd, streamer.rd_data,
+                         streamer.wr, streamer.wr_resp,
+                         chunk_bytes=cfg.stream_chunk_bytes)
+    return SnaccSystem(host=host, platform=platform, streamer=streamer,
+                       driver=driver, user=user)

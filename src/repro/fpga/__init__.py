@@ -1,0 +1,14 @@
+"""FPGA platform substrate: AXI streams, PEs, BARs, resource model."""
+
+from .axi import AxiStream, StreamFlit
+from .pe import ProcessingElement
+from .platform import FpgaPlatform, FpgaPlatformConfig
+from .resources import (ALVEO_U280, FpgaPart, ResourceReport,
+                        StreamerAreaModel)
+
+__all__ = [
+    "AxiStream", "StreamFlit",
+    "ProcessingElement",
+    "FpgaPlatform", "FpgaPlatformConfig",
+    "ALVEO_U280", "FpgaPart", "ResourceReport", "StreamerAreaModel",
+]

@@ -1,0 +1,134 @@
+"""TaPaSCo-like FPGA platform: endpoint, BAR space, DRAM, PE registry.
+
+Models the slice of TaPaSCo the paper builds on (§2.1, §4.5): the toolflow
+gives the FPGA design one 64 MiB BAR (additional windows need a second
+BAR), a single on-board DRAM controller, a 300 MHz memory-clock domain, and
+the wiring between user PEs and platform IPs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..errors import ConfigError
+from ..mem.dram import DramController, DramTiming
+from ..pcie.link import LinkParams
+from ..pcie.root_complex import BarHandler, PcieEndpoint, PcieFabric
+from ..sim.core import Simulator
+from ..units import GiB, KiB, MiB, align_up
+from .axi import AxiStream
+from .pe import ProcessingElement
+from .resources import ALVEO_U280, FpgaPart, ResourceReport
+
+__all__ = ["FpgaPlatformConfig", "FpgaPlatform"]
+
+
+@dataclass(frozen=True)
+class FpgaPlatformConfig:
+    """Static parameters of the FPGA card + shell."""
+
+    name: str = "fpga"
+    part: FpgaPart = ALVEO_U280
+    #: PCIe uplink of the card (U280: Gen3 x16)
+    link: LinkParams = field(default_factory=lambda: LinkParams(
+        gen=3, lanes=16, propagation_ns=75))
+    #: bus address of the primary (TaPaSCo-created, 64 MiB) BAR
+    bar_base: int = 0x20_0000_0000
+    bar_size: int = 64 * MiB
+    #: bus address of the optional second BAR (large memory windows, §4.5)
+    bar2_base: int = 0x28_0000_0000
+    bar2_size: int = 256 * MiB
+    #: memory-controller clock the streamers run at (§4.5)
+    clock_mhz: float = 300.0
+    #: on-board DRAM capacity handled by the single TaPaSCo controller
+    dram_bytes: int = 1 * GiB
+    dram_timing: DramTiming = field(default_factory=DramTiming)
+
+
+class FpgaPlatform:
+    """One FPGA card on the fabric."""
+
+    def __init__(self, sim: Simulator, fabric: PcieFabric,
+                 config: FpgaPlatformConfig = FpgaPlatformConfig()):
+        self.sim = sim
+        self.fabric = fabric
+        self.config = config
+        self.endpoint: PcieEndpoint = fabric.attach_endpoint(
+            config.name, config.link, max_read_tags=64)
+        self.dram = DramController(sim, config.dram_bytes,
+                                   name=f"{config.name}.dram",
+                                   timing=config.dram_timing)
+        self._bar_cursor = 0
+        self._bar2_cursor = 0
+        self.pes: List[ProcessingElement] = []
+        self._windows: Dict[str, int] = {}
+        #: area of everything instantiated on this card
+        self.area = ResourceReport()
+
+    # -- BAR window management -----------------------------------------------------
+    def alloc_bar_window(self, size: int, handler: BarHandler, name: str,
+                         align: int = 4 * KiB) -> int:
+        """Carve a window out of the primary BAR; returns its bus address.
+
+        Raises when the 64 MiB TaPaSCo BAR is exhausted — the paper's reason
+        for needing a second BAR once a variant maps more than 8 MiB (§4.5).
+        """
+        base_off = align_up(self._bar_cursor, align)
+        if base_off + size > self.config.bar_size:
+            raise ConfigError(
+                f"primary BAR exhausted: window {name!r} of {size} bytes "
+                f"does not fit (cursor {base_off:#x} of "
+                f"{self.config.bar_size:#x}); use alloc_bar2_window")
+        self._bar_cursor = base_off + size
+        addr = self.config.bar_base + base_off
+        self.fabric.add_bar(self.endpoint, addr, size, handler,
+                            name=f"{self.config.name}.{name}")
+        self._windows[name] = addr
+        return addr
+
+    def alloc_bar2_window(self, size: int, handler: BarHandler, name: str,
+                          align: int = 4 * KiB) -> int:
+        """Carve a window out of the second BAR (large memory regions)."""
+        base_off = align_up(self._bar2_cursor, align)
+        if base_off + size > self.config.bar2_size:
+            raise ConfigError(f"second BAR exhausted for window {name!r}")
+        self._bar2_cursor = base_off + size
+        addr = self.config.bar2_base + base_off
+        self.fabric.add_bar(self.endpoint, addr, size, handler,
+                            name=f"{self.config.name}.{name}")
+        self._windows[name] = addr
+        return addr
+
+    def window_addr(self, name: str) -> int:
+        """Bus address of a previously allocated window."""
+        try:
+            return self._windows[name]
+        except KeyError:
+            raise ConfigError(f"no BAR window {name!r}") from None
+
+    @property
+    def uses_second_bar(self) -> bool:
+        """True once any window lives in the second BAR."""
+        return self._bar2_cursor > 0
+
+    # -- streams and PEs --------------------------------------------------------------
+    def new_stream(self, name: str, fifo_bytes: int = 64 * KiB) -> AxiStream:
+        """A platform-clocked 512-bit AXI4-Stream."""
+        return AxiStream(self.sim, name=f"{self.config.name}.{name}",
+                         width_bytes=64, clock_mhz=self.config.clock_mhz,
+                         fifo_bytes=fifo_bytes)
+
+    def add_pe(self, pe: ProcessingElement) -> ProcessingElement:
+        """Register a PE with the platform."""
+        self.pes.append(pe)
+        return pe
+
+    def start_all(self) -> None:
+        """Start every registered PE."""
+        for pe in self.pes:
+            pe.start()
+
+    def add_area(self, report: ResourceReport) -> None:
+        """Account *report* into the card's area totals."""
+        self.area = self.area + report

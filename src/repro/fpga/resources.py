@@ -1,0 +1,152 @@
+"""FPGA resource model — reproduces the paper's Table 1.
+
+Synthesized-area estimates for the NVMe Streamer variants, composed from
+per-block costs calibrated against the paper's reported utilization on the
+Alveo U280.  Block costs scale with the design parameters that plausibly
+drive them (reorder-buffer depth, buffer size, interface count), so the
+ablation benchmarks show how area moves with configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..units import KiB, MiB
+
+__all__ = ["FpgaPart", "ALVEO_U280", "ResourceReport", "StreamerAreaModel"]
+
+
+@dataclass(frozen=True)
+class FpgaPart:
+    """Capacity of one FPGA device."""
+
+    name: str
+    luts: int
+    ffs: int
+    bram36: int
+    uram_blocks: int
+
+    #: usable payload bytes per URAM block (4Kx64 of the 4Kx72 array)
+    URAM_BLOCK_BYTES = 32 * KiB
+
+
+#: The paper's device (XCU280).
+ALVEO_U280 = FpgaPart(name="Alveo U280", luts=1_303_680, ffs=2_607_360,
+                      bram36=2_016, uram_blocks=960)
+
+
+@dataclass
+class ResourceReport:
+    """LUT/FF/BRAM/URAM/DRAM totals with part-relative percentages."""
+
+    lut: int = 0
+    ff: int = 0
+    bram36: float = 0.0
+    uram_bytes: int = 0
+    dram_bytes: int = 0
+    pinned_host_bytes: int = 0
+
+    def __add__(self, other: "ResourceReport") -> "ResourceReport":
+        return ResourceReport(
+            lut=self.lut + other.lut,
+            ff=self.ff + other.ff,
+            bram36=self.bram36 + other.bram36,
+            uram_bytes=self.uram_bytes + other.uram_bytes,
+            dram_bytes=self.dram_bytes + other.dram_bytes,
+            pinned_host_bytes=self.pinned_host_bytes + other.pinned_host_bytes)
+
+    def uram_blocks(self, part: FpgaPart = ALVEO_U280) -> int:
+        """URAM blocks consumed on *part*."""
+        return -(-self.uram_bytes // part.URAM_BLOCK_BYTES)
+
+    def percentages(self, part: FpgaPart = ALVEO_U280) -> Dict[str, float]:
+        """Utilization percentages as Table 1 reports them."""
+        return {
+            "LUT": 100.0 * self.lut / part.luts,
+            "FF": 100.0 * self.ff / part.ffs,
+            "BRAM": 100.0 * self.bram36 / part.bram36,
+            "URAM": 100.0 * self.uram_blocks(part) / part.uram_blocks,
+        }
+
+
+class StreamerAreaModel:
+    """Per-block area costs of the NVMe Streamer (calibrated to Table 1)."""
+
+    #: command path, splitter, stream adapter, SQ FIFO — shared by variants
+    BASE_LUT = 4500
+    BASE_FF = 5300
+    #: reorder buffer: control plus per-slot state
+    ROB_LUT_BASE, ROB_LUT_PER_SLOT = 800, 9.375
+    ROB_FF_BASE, ROB_FF_PER_SLOT = 980, 11.25
+    #: URAM-scheme PRP synthesis (bit-22 address mirror; no storage)
+    PRP_URAM_LUT, PRP_URAM_FF = 760, 888
+    #: URAM buffer port muxing (read/write share one buffer)
+    URAM_PORT_LUT, URAM_PORT_FF = 600, 500
+    #: register-file PRP scheme: control plus per-slot register
+    PRP_RF_LUT_BASE, PRP_RF_LUT_PER_SLOT = 1063, 18.75
+    PRP_RF_FF_BASE, PRP_RF_FF_PER_SLOT = 1347, 22.5
+    #: AXI-MM master to the on-board DRAM controller
+    DRAM_IF_LUT, DRAM_IF_FF, DRAM_IF_BRAM = 3800, 4400, 10.0
+    #: burst-coalescing logic for NVMe accesses to on-board DRAM
+    BURST_LUT, BURST_FF, BURST_BRAM = 2100, 2300, 14.0
+    #: AXI-MM master onto the PCIe bridge (host-memory variant)
+    PCIE_IF_LUT, PCIE_IF_FF, PCIE_IF_BRAM = 3100, 3000, 10.0
+    #: 4 MiB-chunk address translation for pinned host buffers
+    CHUNK_LUT, CHUNK_FF, CHUNK_BRAM = 965, 586, 7.5
+
+    @classmethod
+    def _common(cls, rob_depth: int) -> ResourceReport:
+        return ResourceReport(
+            lut=cls.BASE_LUT + round(cls.ROB_LUT_BASE
+                                     + cls.ROB_LUT_PER_SLOT * rob_depth),
+            ff=cls.BASE_FF + round(cls.ROB_FF_BASE
+                                   + cls.ROB_FF_PER_SLOT * rob_depth))
+
+    @classmethod
+    def uram_variant(cls, buffer_bytes: int = 4 * MiB,
+                     rob_depth: int = 64) -> ResourceReport:
+        """Area of the URAM-buffer streamer."""
+        r = cls._common(rob_depth) + ResourceReport(
+            lut=cls.PRP_URAM_LUT + cls.URAM_PORT_LUT,
+            ff=cls.PRP_URAM_FF + cls.URAM_PORT_FF)
+        r.uram_bytes = buffer_bytes
+        return r
+
+    @classmethod
+    def onboard_dram_variant(cls, buffer_bytes: int = 128 * MiB,
+                             rob_depth: int = 64) -> ResourceReport:
+        """Area of the on-board-DRAM streamer (read + write buffers)."""
+        r = cls._common(rob_depth) + ResourceReport(
+            lut=round(cls.PRP_RF_LUT_BASE + cls.PRP_RF_LUT_PER_SLOT * rob_depth)
+                + cls.DRAM_IF_LUT + cls.BURST_LUT,
+            ff=round(cls.PRP_RF_FF_BASE + cls.PRP_RF_FF_PER_SLOT * rob_depth)
+                + cls.DRAM_IF_FF + cls.BURST_FF,
+            bram36=cls.DRAM_IF_BRAM + cls.BURST_BRAM)
+        r.dram_bytes = buffer_bytes
+        return r
+
+    @classmethod
+    def host_dram_variant(cls, buffer_bytes: int = 128 * MiB,
+                          rob_depth: int = 64) -> ResourceReport:
+        """Area of the host-DRAM streamer (pinned memory buffers)."""
+        r = cls._common(rob_depth) + ResourceReport(
+            lut=round(cls.PRP_RF_LUT_BASE + cls.PRP_RF_LUT_PER_SLOT * rob_depth)
+                + cls.PCIE_IF_LUT + cls.CHUNK_LUT,
+            ff=round(cls.PRP_RF_FF_BASE + cls.PRP_RF_FF_PER_SLOT * rob_depth)
+                + cls.PCIE_IF_FF + cls.CHUNK_FF,
+            bram36=cls.PCIE_IF_BRAM + cls.CHUNK_BRAM)
+        r.pinned_host_bytes = buffer_bytes
+        return r
+
+    @classmethod
+    def for_variant(cls, variant: str, buffer_bytes: Optional[int] = None,
+                    rob_depth: int = 64) -> ResourceReport:
+        """Dispatch by variant name ('uram', 'onboard_dram', 'host_dram')."""
+        if variant == "uram":
+            return cls.uram_variant(buffer_bytes or 4 * MiB, rob_depth)
+        if variant == "onboard_dram":
+            return cls.onboard_dram_variant(buffer_bytes or 128 * MiB, rob_depth)
+        if variant == "host_dram":
+            return cls.host_dram_variant(buffer_bytes or 128 * MiB, rob_depth)
+        raise ValueError(f"unknown streamer variant {variant!r}")

@@ -1,0 +1,17 @@
+"""Memory substrates: functional stores, URAM/DRAM/host-DRAM timing models."""
+
+from .address_map import AddressMap, Window
+from .base import AddressRange, Memory, SparseMemory, as_bytes_array
+from .dram import DramController, DramTiming
+from .hostmem import ChunkedBuffer, HostDram, PinnedAllocator
+from .sram import SramMemory, UramBuffer
+from .timed import AccessStats, TimedMemory
+
+__all__ = [
+    "AddressMap", "Window",
+    "AddressRange", "Memory", "SparseMemory", "as_bytes_array",
+    "DramController", "DramTiming",
+    "ChunkedBuffer", "HostDram", "PinnedAllocator",
+    "SramMemory", "UramBuffer",
+    "AccessStats", "TimedMemory",
+]

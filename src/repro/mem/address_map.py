@@ -1,0 +1,80 @@
+"""Address decoding: map global (PCIe) addresses onto device-local regions.
+
+Models the Base Address Register (BAR) mechanism: each endpoint exposes one
+or more windows in the global address space; the :class:`AddressMap` decodes
+a global address to ``(target, local_offset)``.  The paper notes TaPaSCo
+creates a single 64 MiB BAR, into which the URAM streamer's 8 MiB window
+fits, while an on-board-DRAM variant using > 8 MiB needs a second BAR — the
+map enforces window-capacity checks the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Tuple
+
+from ..errors import AddressError
+from .base import AddressRange
+
+__all__ = ["Window", "AddressMap"]
+
+
+@dataclass(frozen=True)
+class Window:
+    """One mapped window: a global range owned by *target*.
+
+    ``target`` is opaque to the map (a memory, a device port, a handler).
+    """
+
+    range: AddressRange
+    target: Any
+    name: str = ""
+
+
+class AddressMap:
+    """Ordered collection of non-overlapping windows with O(log n) decode."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._windows: List[Window] = []  # sorted by base
+
+    def add(self, base: int, size: int, target: Any, name: str = "") -> Window:
+        """Map [base, base+size) to *target*; overlap raises AddressError."""
+        rng = AddressRange(base, size)
+        for w in self._windows:
+            if w.range.overlaps(rng):
+                raise AddressError(
+                    f"{self.name}: window {rng} overlaps existing {w.range} ({w.name})")
+        win = Window(range=rng, target=target, name=name)
+        self._windows.append(win)
+        self._windows.sort(key=lambda w: w.range.base)
+        return win
+
+    def decode(self, addr: int, nbytes: int = 1) -> Tuple[Window, int]:
+        """Resolve *addr* to its window and local offset.
+
+        The full [addr, addr+nbytes) span must lie inside one window —
+        accesses straddling window boundaries are hardware bugs we surface.
+        """
+        lo, hi = 0, len(self._windows) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            w = self._windows[mid]
+            if addr < w.range.base:
+                hi = mid - 1
+            elif addr >= w.range.end:
+                lo = mid + 1
+            else:
+                if not w.range.contains(addr, nbytes):
+                    raise AddressError(
+                        f"{self.name}: access [{addr:#x}, {addr + nbytes:#x}) "
+                        f"straddles window {w.range} ({w.name})")
+                return w, addr - w.range.base
+        raise AddressError(f"{self.name}: no window maps address {addr:#x}")
+
+    def windows(self) -> List[Window]:
+        """All windows sorted by base address."""
+        return list(self._windows)
+
+    def __len__(self) -> int:
+        return len(self._windows)

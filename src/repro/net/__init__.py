@@ -1,0 +1,15 @@
+"""100G Ethernet substrate: frames, MACs with 802.3x pause, switch, sources."""
+
+from .frame import (EthernetFrame, FRAME_OVERHEAD_BYTES, MAX_PAYLOAD_BYTES,
+                    PAUSE_ETHERTYPE, pause_frame)
+from .generator import FrameStreamSource
+from .mac import EthernetMac
+from .switch import EthernetSwitch
+
+__all__ = [
+    "EthernetFrame", "FRAME_OVERHEAD_BYTES", "MAX_PAYLOAD_BYTES",
+    "PAUSE_ETHERTYPE", "pause_frame",
+    "FrameStreamSource",
+    "EthernetMac",
+    "EthernetSwitch",
+]

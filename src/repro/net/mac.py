@@ -1,0 +1,154 @@
+"""100G Ethernet MAC with 802.3x flow control (paper §4.7).
+
+The paper's design choices, reproduced:
+
+* flow control is plain 802.3 PAUSE, not TCP — "an overrun receiver
+  [sends] a pause packet to the sender";
+* "Once the transmission of an Ethernet frame starts, it cannot be
+  paused.  Hence, we fully buffer the frames on the sender side to prevent
+  incomplete transmission, though this increases latency" — the TX path is
+  store-and-forward and checks the pause state only between frames;
+* with flow control *disabled*, an overrun receiver **drops** frames (the
+  failure mode the ablation demonstrates).
+
+Two MACs are joined with :meth:`EthernetMac.connect`; control frames travel
+the reverse direction of the data they regulate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ConfigError, EthernetError
+from ..sim.core import Event, Simulator
+from ..sim.resources import Resource
+from ..units import KiB, ns_for_bytes
+from .frame import EthernetFrame, pause_frame
+
+__all__ = ["EthernetMac"]
+
+
+class EthernetMac:
+    """One MAC/port: TX serializer + RX FIFO with PAUSE generation."""
+
+    def __init__(self, sim: Simulator, name: str = "eth",
+                 rate_gbps: float = 12.5, propagation_ns: int = 500,
+                 rx_fifo_bytes: int = 256 * KiB,
+                 flow_control: bool = True,
+                 pause_high_watermark: float = 0.75,
+                 pause_low_watermark: float = 0.25):
+        if rate_gbps <= 0:
+            raise ConfigError("rate must be > 0")
+        if not 0 < pause_low_watermark < pause_high_watermark < 1:
+            raise ConfigError("need 0 < low < high < 1 watermarks")
+        self.sim = sim
+        self.name = name
+        self.rate_gbps = rate_gbps
+        self.propagation_ns = propagation_ns
+        self.rx_fifo_bytes = rx_fifo_bytes
+        self.flow_control = flow_control
+        self._high = int(rx_fifo_bytes * pause_high_watermark)
+        self._low = int(rx_fifo_bytes * pause_low_watermark)
+        self.peer: Optional["EthernetMac"] = None
+        # TX state
+        self._tx = Resource(sim, 1, name=f"{name}.tx")
+        self._tx_paused = False
+        self._pause_kick = Event(sim)
+        # RX state
+        self._rx_frames = []
+        self._rx_bytes = 0
+        self._rx_kick = Event(sim)
+        self._xoff_sent = False
+        # counters
+        self.tx_frames = 0
+        self.rx_frames = 0
+        self.dropped_frames = 0
+        self.pause_frames_sent = 0
+        self.tx_pause_ns = 0
+
+    def connect(self, other: "EthernetMac") -> None:
+        """Join two MACs with a full-duplex link."""
+        if self.peer is not None or other.peer is not None:
+            raise EthernetError("MAC already connected")
+        self.peer = other
+        other.peer = self
+
+    # ------------------------------------------------------------------- TX
+    def send(self, frame: EthernetFrame):
+        """Generator: transmit one frame (store-and-forward, pause-aware)."""
+        if self.peer is None:
+            raise EthernetError(f"{self.name}: not connected")
+        yield self._tx.acquire()
+        try:
+            # A started frame cannot be paused; the check happens between
+            # frames only (hence sender-side full buffering).
+            while self._tx_paused:
+                t0 = self.sim.now
+                yield self._pause_kick
+                self.tx_pause_ns += self.sim.now - t0
+            yield self.sim.timeout(
+                ns_for_bytes(frame.wire_bytes, self.rate_gbps))
+        finally:
+            self._tx.release()
+        self.tx_frames += 1
+        self.sim.process(self._propagate(frame), name=f"{self.name}.prop")
+
+    def _propagate(self, frame: EthernetFrame):
+        yield self.sim.timeout(self.propagation_ns)
+        self.peer._on_frame(frame)
+
+    def _send_control(self, quanta: int) -> None:
+        """Control frames bypass the data queue (sent between data frames)."""
+        self.pause_frames_sent += 1
+        self.sim.process(self._control_tx(quanta), name=f"{self.name}.ctl")
+
+    def _control_tx(self, quanta: int):
+        yield self.sim.timeout(
+            ns_for_bytes(pause_frame(quanta).wire_bytes, self.rate_gbps)
+            + self.propagation_ns)
+        self.peer._on_frame(pause_frame(quanta))
+
+    # ------------------------------------------------------------------- RX
+    def _on_frame(self, frame: EthernetFrame) -> None:
+        if frame.is_pause:
+            if frame.pause_quanta > 0:
+                self._tx_paused = True
+            else:
+                self._tx_paused = False
+                kick, self._pause_kick = self._pause_kick, Event(self.sim)
+                kick.succeed()
+            return
+        if self._rx_bytes + frame.payload_bytes > self.rx_fifo_bytes:
+            # Overrun: without flow control this is how frames die.
+            self.dropped_frames += 1
+            return
+        self._rx_frames.append(frame)
+        self._rx_bytes += frame.payload_bytes
+        self.rx_frames += 1
+        if self.flow_control and not self._xoff_sent \
+                and self._rx_bytes >= self._high:
+            self._xoff_sent = True
+            self._send_control(0xFFFF)
+        kick, self._rx_kick = self._rx_kick, Event(self.sim)
+        kick.succeed()
+
+    def recv(self):
+        """Generator: take the oldest received frame (blocks while empty)."""
+        while not self._rx_frames:
+            yield self._rx_kick
+        frame = self._rx_frames.pop(0)
+        self._rx_bytes -= frame.payload_bytes
+        if self.flow_control and self._xoff_sent and self._rx_bytes <= self._low:
+            self._xoff_sent = False
+            self._send_control(0)
+        return frame
+
+    @property
+    def rx_occupancy(self) -> int:
+        """Bytes currently buffered in the RX FIFO."""
+        return self._rx_bytes
+
+    @property
+    def is_paused(self) -> bool:
+        """True while the TX side honours an XOFF."""
+        return self._tx_paused

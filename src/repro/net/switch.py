@@ -1,0 +1,55 @@
+"""Store-and-forward Ethernet switch with local pause propagation.
+
+Paper §4.7: the 802.3 pause "protocol also works with intermediary
+switches, which will first pause locally before propagating the pause
+request further."  The switch forwards frames between two ports through a
+bounded internal buffer; when the egress port is paused and the buffer
+fills past its watermark, the ingress MAC's own flow control pauses the
+upstream sender — the hop-by-hop propagation the paper relies on.
+"""
+
+from __future__ import annotations
+
+from ..sim.core import Simulator
+from ..units import KiB
+from .mac import EthernetMac
+
+__all__ = ["EthernetSwitch"]
+
+
+class EthernetSwitch:
+    """Two-port cut-free (store-and-forward) switch."""
+
+    def __init__(self, sim: Simulator, name: str = "sw",
+                 rate_gbps: float = 12.5, buffer_bytes: int = 256 * KiB,
+                 flow_control: bool = True):
+        self.sim = sim
+        self.name = name
+        # Each port is a full MAC: its RX FIFO is the switch buffer for that
+        # direction, so the MAC's PAUSE machinery *is* the local pause.
+        self.port_a = EthernetMac(sim, name=f"{name}.a", rate_gbps=rate_gbps,
+                                  rx_fifo_bytes=buffer_bytes,
+                                  flow_control=flow_control)
+        self.port_b = EthernetMac(sim, name=f"{name}.b", rate_gbps=rate_gbps,
+                                  rx_fifo_bytes=buffer_bytes,
+                                  flow_control=flow_control)
+        self.forwarded_frames = 0
+        self._started = False
+
+    def start(self) -> None:
+        """Launch the two forwarding engines (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self.sim.process(self._forward(self.port_a, self.port_b),
+                         name=f"{self.name}.a2b")
+        self.sim.process(self._forward(self.port_b, self.port_a),
+                         name=f"{self.name}.b2a")
+
+    def _forward(self, rx: EthernetMac, tx: EthernetMac):
+        while True:
+            frame = yield from rx.recv()
+            # tx.send blocks while the egress is paused; rx's FIFO then
+            # fills and rx's own PAUSE stops the upstream sender.
+            yield from tx.send(frame)
+            self.forwarded_frames += 1

@@ -1,0 +1,29 @@
+"""NVMe protocol engine and SSD device model."""
+
+from .admin import AdminQueueClient
+from .command import CompletionEntry, SubmissionEntry
+from .controller import ControllerStats, NvmeController
+from .device import NvmeDevice, NvmeDeviceConfig, build_nvme_device
+from .namespace import Namespace
+from .profiles import GEN5_SSD_LIKE, SAMSUNG_990_PRO_LIKE, SsdPerfProfile
+from .prp import (build_prp_list, pages_for_transfer, parse_prp_list_page,
+                  prp_list_pages_needed)
+from .queues import CompletionRing, SubmissionRing, doorbell_offset
+from .spec import (AdminOpcode, CQE_BYTES, IoOpcode, LBA_BYTES, PAGE_SIZE,
+                   PRPS_PER_LIST_PAGE, PRP_ENTRY_BYTES, SQE_BYTES, StatusCode)
+from .ssd import SsdBackend
+
+__all__ = [
+    "AdminQueueClient",
+    "CompletionEntry", "SubmissionEntry",
+    "ControllerStats", "NvmeController",
+    "NvmeDevice", "NvmeDeviceConfig", "build_nvme_device",
+    "Namespace",
+    "GEN5_SSD_LIKE", "SAMSUNG_990_PRO_LIKE", "SsdPerfProfile",
+    "build_prp_list", "pages_for_transfer", "parse_prp_list_page",
+    "prp_list_pages_needed",
+    "CompletionRing", "SubmissionRing", "doorbell_offset",
+    "AdminOpcode", "CQE_BYTES", "IoOpcode", "LBA_BYTES", "PAGE_SIZE",
+    "PRPS_PER_LIST_PAGE", "PRP_ENTRY_BYTES", "SQE_BYTES", "StatusCode",
+    "SsdBackend",
+]

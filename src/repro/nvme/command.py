@@ -1,0 +1,123 @@
+"""Submission / completion entry structures with real byte encodings.
+
+Queues live inside simulated memories, and the controller *fetches* entries
+over the PCIe fabric, so entries must round-trip through bytes exactly like
+hardware sees them.  The layout follows the spec's common fields:
+
+SQE (64 B): [0] opcode, [1] flags, [2:4] CID, [4:8] NSID,
+            [24:32] PRP1, [32:40] PRP2, [40:48] CDW10/11 (SLBA),
+            [48:52] CDW12 (NLB-1 in bits 15:0), [52:64] CDW13-15.
+CQE (16 B): [0:4] command specific, [4:8] reserved, [8:10] SQ head,
+            [10:12] SQ id, [12:14] CID, [14:16] phase (bit 0) | status.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..errors import InvalidCommandError
+from .spec import CQE_BYTES, SQE_BYTES, StatusCode
+
+__all__ = ["SubmissionEntry", "CompletionEntry"]
+
+_SQE_PACK = struct.Struct("<BBHI8xQQQQIIII")
+_CQE_PACK = struct.Struct("<IIHHHH")
+
+
+@dataclass
+class SubmissionEntry:
+    """One 64-byte submission queue entry."""
+
+    opcode: int
+    cid: int
+    nsid: int = 1
+    prp1: int = 0
+    prp2: int = 0
+    cdw10: int = 0
+    cdw11: int = 0
+    cdw12: int = 0
+    cdw13: int = 0
+    flags: int = 0
+
+    # -- NVM command views ----------------------------------------------------
+    @property
+    def slba(self) -> int:
+        """Starting LBA for READ/WRITE (CDW10 | CDW11 << 32)."""
+        return self.cdw10 | (self.cdw11 << 32)
+
+    @slba.setter
+    def slba(self, value: int) -> None:
+        self.cdw10 = value & 0xFFFF_FFFF
+        self.cdw11 = (value >> 32) & 0xFFFF_FFFF
+
+    @property
+    def nlb(self) -> int:
+        """Number of logical blocks (CDW12 bits 15:0 are NLB-1)."""
+        return (self.cdw12 & 0xFFFF) + 1
+
+    @nlb.setter
+    def nlb(self, value: int) -> None:
+        if not 1 <= value <= 0x10000:
+            raise InvalidCommandError(f"nlb out of range: {value}")
+        self.cdw12 = (self.cdw12 & ~0xFFFF) | ((value - 1) & 0xFFFF)
+
+    # -- wire encoding ----------------------------------------------------------
+    def pack(self) -> bytes:
+        """Encode into the 64-byte wire form."""
+        if not 0 <= self.cid <= 0xFFFF:
+            raise InvalidCommandError(f"cid out of range: {self.cid}")
+        return _SQE_PACK.pack(
+            self.opcode & 0xFF, self.flags & 0xFF, self.cid, self.nsid,
+            0,  # metadata pointer (unused)
+            self.prp1, self.prp2,
+            self.cdw10 | (self.cdw11 << 32),
+            self.cdw12, self.cdw13, 0, 0)
+
+    @classmethod
+    def unpack(cls, raw) -> "SubmissionEntry":
+        """Decode a 64-byte wire-form entry."""
+        raw = bytes(raw)
+        if len(raw) != SQE_BYTES:
+            raise InvalidCommandError(f"SQE must be {SQE_BYTES} B, got {len(raw)}")
+        (opcode, flags, cid, nsid, _mptr, prp1, prp2, slba_q,
+         cdw12, cdw13, _c14, _c15) = _SQE_PACK.unpack(raw)
+        return cls(opcode=opcode, flags=flags, cid=cid, nsid=nsid,
+                   prp1=prp1, prp2=prp2,
+                   cdw10=slba_q & 0xFFFF_FFFF, cdw11=slba_q >> 32,
+                   cdw12=cdw12, cdw13=cdw13)
+
+
+@dataclass
+class CompletionEntry:
+    """One 16-byte completion queue entry."""
+
+    cid: int
+    status: int = StatusCode.SUCCESS
+    sq_head: int = 0
+    sq_id: int = 0
+    phase: int = 1
+    result: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True for a successful completion."""
+        return self.status == StatusCode.SUCCESS
+
+    def pack(self) -> bytes:
+        """Encode into the 16-byte wire form."""
+        status_phase = ((self.status & 0x7FFF) << 1) | (self.phase & 1)
+        return _CQE_PACK.pack(self.result & 0xFFFF_FFFF, 0,
+                              self.sq_head & 0xFFFF, self.sq_id & 0xFFFF,
+                              self.cid & 0xFFFF, status_phase)
+
+    @classmethod
+    def unpack(cls, raw) -> "CompletionEntry":
+        """Decode a 16-byte wire-form entry."""
+        raw = bytes(raw)
+        if len(raw) != CQE_BYTES:
+            raise InvalidCommandError(f"CQE must be {CQE_BYTES} B, got {len(raw)}")
+        result, _rsvd, sq_head, sq_id, cid, status_phase = _CQE_PACK.unpack(raw)
+        return cls(cid=cid, status=(status_phase >> 1) & 0x7FFF,
+                   sq_head=sq_head, sq_id=sq_id,
+                   phase=status_phase & 1, result=result)

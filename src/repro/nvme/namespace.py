@@ -1,0 +1,56 @@
+"""NVMe namespace: LBA-addressed media backed by sparse memory."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import NamespaceError
+from ..mem.base import BytesLike, SparseMemory, as_bytes_array
+from .spec import LBA_BYTES
+
+__all__ = ["Namespace"]
+
+
+class Namespace:
+    """One namespace: capacity, LBA geometry, and the data at rest.
+
+    Unwritten blocks read back as zeros (a freshly formatted drive).
+    """
+
+    def __init__(self, capacity_bytes: int, nsid: int = 1,
+                 lba_bytes: int = LBA_BYTES):
+        if capacity_bytes <= 0 or capacity_bytes % lba_bytes:
+            raise NamespaceError(
+                f"capacity {capacity_bytes} not a multiple of LBA size {lba_bytes}")
+        self.nsid = nsid
+        self.lba_bytes = lba_bytes
+        self.capacity_bytes = capacity_bytes
+        self.media = SparseMemory(capacity_bytes, name=f"ns{nsid}")
+
+    @property
+    def nlb_total(self) -> int:
+        """Total number of logical blocks."""
+        return self.capacity_bytes // self.lba_bytes
+
+    def check_range(self, slba: int, nlb: int) -> None:
+        """Validate an LBA range; raises :class:`NamespaceError` when bad."""
+        if nlb <= 0:
+            raise NamespaceError(f"nlb must be > 0, got {nlb}")
+        if slba < 0 or slba + nlb > self.nlb_total:
+            raise NamespaceError(
+                f"LBA range [{slba}, {slba + nlb}) outside namespace "
+                f"of {self.nlb_total} blocks")
+
+    def read_blocks(self, slba: int, nlb: int) -> np.ndarray:
+        """Functional media read."""
+        self.check_range(slba, nlb)
+        return self.media.read(slba * self.lba_bytes, nlb * self.lba_bytes)
+
+    def write_blocks(self, slba: int, data: BytesLike) -> None:
+        """Functional media write (length must be LBA-aligned)."""
+        arr = as_bytes_array(data)
+        if len(arr) % self.lba_bytes:
+            raise NamespaceError(
+                f"write of {len(arr)} bytes is not LBA aligned")
+        self.check_range(slba, len(arr) // self.lba_bytes)
+        self.media.write(slba * self.lba_bytes, arr)

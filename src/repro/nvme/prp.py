@@ -1,0 +1,111 @@
+"""Physical Region Page (PRP) construction and traversal.
+
+Two producers exist in this system:
+
+* the **SPDK path** builds conventional PRP lists *stored in host memory*
+  (:func:`build_prp_list`) — extra pages holding up to 512 packed 64-bit
+  addresses, chained for large transfers;
+* the **SNAcc streamers** never store lists: they synthesize PRP entries
+  *on the fly* when the controller reads from the list address
+  (:mod:`repro.core.prp_engine`).
+
+The consumer side (:func:`iter_prp_pages`) is shared: given PRP1/PRP2 and a
+transfer length, yield the page addresses in order, issuing list-page reads
+through a caller-supplied fetch callback — so both stored and synthesized
+lists exercise identical controller logic.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, List
+
+from ..errors import InvalidCommandError
+from .spec import PAGE_SIZE, PRP_ENTRY_BYTES, PRPS_PER_LIST_PAGE
+
+__all__ = ["pages_for_transfer", "build_prp_list", "parse_prp_list_page",
+           "prp_list_pages_needed"]
+
+
+def pages_for_transfer(nbytes: int, page_size: int = PAGE_SIZE) -> int:
+    """Number of page-aligned PRPs covering an *nbytes* transfer.
+
+    Transfers are page-aligned in this system (the streamers start every
+    command at a 4 KiB boundary; SPDK buffers are page-aligned).
+    """
+    if nbytes <= 0:
+        raise InvalidCommandError(f"transfer must be > 0 bytes, got {nbytes}")
+    return -(-nbytes // page_size)
+
+
+def prp_list_pages_needed(npages: int) -> int:
+    """List pages required to describe *npages* data pages.
+
+    PRP1 covers the first page; PRP2 is a direct pointer when exactly two
+    pages are needed, so lists appear only from three pages up.  Each list
+    page holds 512 entries, the last of which chains when more follow.
+    """
+    if npages <= 2:
+        return 0
+    remaining = npages - 1            # pages described by list entries
+    pages = 0
+    while remaining > PRPS_PER_LIST_PAGE:
+        pages += 1
+        remaining -= PRPS_PER_LIST_PAGE - 1   # last slot chains
+    return pages + 1
+
+
+def build_prp_list(data_pages: List[int], list_page_allocator: Callable[[], int],
+                   write_mem: Callable[[int, bytes], None]) -> tuple:
+    """Build stored PRP lists for *data_pages* (page-aligned addresses).
+
+    ``list_page_allocator()`` returns the bus address of a fresh 4 KiB page;
+    ``write_mem(addr, data)`` stores list contents.  Returns ``(prp1, prp2)``
+    for the NVMe command.
+    """
+    if not data_pages:
+        raise InvalidCommandError("empty PRP page list")
+    for addr in data_pages:
+        if addr % PAGE_SIZE:
+            raise InvalidCommandError(f"PRP not page aligned: {addr:#x}")
+    prp1 = data_pages[0]
+    if len(data_pages) == 1:
+        return prp1, 0
+    if len(data_pages) == 2:
+        return prp1, data_pages[1]
+
+    remaining = data_pages[1:]
+    first_list_addr = 0
+    prev_chain_fixup = None  # (page_addr, contents) needing the next page addr
+    while remaining:
+        page_addr = list_page_allocator()
+        if page_addr % PAGE_SIZE:
+            raise InvalidCommandError(
+                f"PRP list page not aligned: {page_addr:#x}")
+        if first_list_addr == 0:
+            first_list_addr = page_addr
+        if prev_chain_fixup is not None:
+            prev_addr, prev_entries = prev_chain_fixup
+            prev_entries[-1] = page_addr
+            write_mem(prev_addr,
+                      struct.pack(f"<{len(prev_entries)}Q", *prev_entries))
+            prev_chain_fixup = None
+        if len(remaining) > PRPS_PER_LIST_PAGE:
+            entries = remaining[:PRPS_PER_LIST_PAGE - 1] + [0]  # chain slot
+            remaining = remaining[PRPS_PER_LIST_PAGE - 1:]
+            prev_chain_fixup = (page_addr, entries)
+            # written when the chain target is known (next iteration)
+        else:
+            entries = remaining
+            remaining = []
+            write_mem(page_addr, struct.pack(f"<{len(entries)}Q", *entries))
+    return prp1, first_list_addr
+
+
+def parse_prp_list_page(raw: bytes) -> List[int]:
+    """Decode a (possibly partial) PRP list page into addresses."""
+    if len(raw) % PRP_ENTRY_BYTES:
+        raise InvalidCommandError(
+            f"PRP list read of {len(raw)} bytes is not entry aligned")
+    count = len(raw) // PRP_ENTRY_BYTES
+    return list(struct.unpack(f"<{count}Q", raw))

@@ -1,0 +1,56 @@
+"""NVMe protocol constants (the subset the paper's system exercises)."""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+__all__ = [
+    "AdminOpcode", "IoOpcode", "StatusCode",
+    "SQE_BYTES", "CQE_BYTES", "PAGE_SIZE", "PRP_ENTRY_BYTES",
+    "PRPS_PER_LIST_PAGE", "LBA_BYTES",
+]
+
+#: Submission queue entry size (fixed by the spec).
+SQE_BYTES = 64
+#: Completion queue entry size (fixed by the spec).
+CQE_BYTES = 16
+#: Memory page size / PRP granularity.
+PAGE_SIZE = 4096
+#: A PRP entry is a 64-bit physical address.
+PRP_ENTRY_BYTES = 8
+#: Entries per PRP list page (4096 / 8); the last may chain to another list.
+PRPS_PER_LIST_PAGE = PAGE_SIZE // PRP_ENTRY_BYTES
+#: Logical block size used throughout (the 990 PRO default format).
+LBA_BYTES = 512
+
+
+class AdminOpcode(IntEnum):
+    """Admin command set opcodes."""
+
+    DELETE_IO_SQ = 0x00
+    CREATE_IO_SQ = 0x01
+    DELETE_IO_CQ = 0x04
+    CREATE_IO_CQ = 0x05
+    IDENTIFY = 0x06
+    SET_FEATURES = 0x09
+    GET_FEATURES = 0x0A
+
+
+class IoOpcode(IntEnum):
+    """NVM command set opcodes."""
+
+    FLUSH = 0x00
+    WRITE = 0x01
+    READ = 0x02
+
+
+class StatusCode(IntEnum):
+    """Completion status codes (generic command status subset)."""
+
+    SUCCESS = 0x00
+    INVALID_OPCODE = 0x01
+    INVALID_FIELD = 0x02
+    DATA_TRANSFER_ERROR = 0x04
+    INTERNAL_ERROR = 0x06
+    INVALID_QUEUE_ID = 0x101  # create-queue specific
+    LBA_OUT_OF_RANGE = 0x80

@@ -1,0 +1,15 @@
+"""PCIe fabric: links, TLP accounting, routing, P2P, IOMMU, traffic."""
+
+from .iommu import Iommu
+from .link import GEN_GT_PER_LANE, LinkParams, PcieLink
+from .root_complex import BarHandler, PcieEndpoint, PcieFabric
+from .tlp import MEMRD_REQUEST_BYTES, MSIX_BYTES, TlpParams
+from .traffic import TrafficAccountant
+
+__all__ = [
+    "Iommu",
+    "GEN_GT_PER_LANE", "LinkParams", "PcieLink",
+    "BarHandler", "PcieEndpoint", "PcieFabric",
+    "MEMRD_REQUEST_BYTES", "MSIX_BYTES", "TlpParams",
+    "TrafficAccountant",
+]

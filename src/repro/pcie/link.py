@@ -1,0 +1,106 @@
+"""PCIe link model: generation/lane bandwidth and duplex serialization.
+
+A link is full duplex; each direction is an independent serialization
+resource.  Transfers are chunked so concurrent flows interleave at a
+realistic granularity instead of head-of-line blocking each other for the
+duration of a megabyte burst.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..sim.core import Simulator
+from ..sim.resources import Resource
+from ..units import KiB, ns_for_bytes
+from .tlp import TlpParams
+
+__all__ = ["LinkParams", "PcieLink", "GEN_GT_PER_LANE"]
+
+#: Per-lane raw signalling rate in GT/s by PCIe generation.
+GEN_GT_PER_LANE = {1: 2.5, 2: 5.0, 3: 8.0, 4: 16.0, 5: 32.0}
+
+#: Line-code efficiency: 8b/10b for Gen1/2, 128b/130b for Gen3+.
+_CODE_EFFICIENCY = {1: 0.8, 2: 0.8, 3: 128 / 130, 4: 128 / 130, 5: 128 / 130}
+
+
+@dataclass(frozen=True)
+class LinkParams:
+    """Static parameters of one PCIe link."""
+
+    gen: int = 3
+    lanes: int = 16
+    #: one-way propagation + PHY/pipeline latency, ns
+    propagation_ns: int = 75
+    #: serialization granularity for concurrent-flow interleaving
+    chunk_bytes: int = 16 * KiB
+    tlp: TlpParams = TlpParams()
+
+    def __post_init__(self):
+        if self.gen not in GEN_GT_PER_LANE:
+            raise ConfigError(f"unknown PCIe gen {self.gen}")
+        if self.lanes not in (1, 2, 4, 8, 16):
+            raise ConfigError(f"invalid lane count {self.lanes}")
+        if self.propagation_ns < 0:
+            raise ConfigError("propagation_ns must be >= 0")
+        if self.chunk_bytes < 512:
+            raise ConfigError("chunk_bytes must be >= 512")
+
+    @property
+    def raw_gbps(self) -> float:
+        """Raw per-direction byte rate after line coding, decimal GB/s."""
+        gt = GEN_GT_PER_LANE[self.gen]
+        return gt * self.lanes * _CODE_EFFICIENCY[self.gen] / 8.0
+
+    def describe(self) -> str:
+        """'Gen4 x4 (7.88 GB/s)'-style label."""
+        return f"Gen{self.gen} x{self.lanes} ({self.raw_gbps:.2f} GB/s)"
+
+
+class PcieLink:
+    """One full-duplex link; 'up' = device-to-root, 'down' = root-to-device."""
+
+    def __init__(self, sim: Simulator, params: LinkParams, name: str = "link"):
+        self.sim = sim
+        self.params = params
+        self.name = name
+        self._dirs = {
+            "up": Resource(sim, 1, name=f"{name}.up"),
+            "down": Resource(sim, 1, name=f"{name}.down"),
+        }
+        #: wire bytes that crossed each direction (traffic accounting)
+        self.wire_bytes = {"up": 0, "down": 0}
+
+    def serialize(self, direction: str, payload_bytes: int,
+                  raw_wire_bytes: int = 0):
+        """Generator: occupy *direction* for the wire time of the transfer.
+
+        *payload_bytes* is packetized via the link's TLP parameters;
+        *raw_wire_bytes* is for non-data TLPs (requests, interrupts) charged
+        as-is.  Chunked so other flows interleave.
+        """
+        if direction not in self._dirs:
+            raise ValueError(f"direction must be 'up' or 'down', got {direction!r}")
+        total_wire = self.params.tlp.wire_bytes(payload_bytes) + raw_wire_bytes
+        res = self._dirs[direction]
+        chunk = self.params.chunk_bytes
+        remaining = total_wire
+        while remaining > 0:
+            take = min(remaining, chunk)
+            yield res.acquire()
+            try:
+                yield self.sim.timeout(ns_for_bytes(take, self.params.raw_gbps))
+            finally:
+                res.release()
+            remaining -= take
+        self.wire_bytes[direction] += total_wire
+
+    @property
+    def total_wire_bytes(self) -> int:
+        """Wire bytes across both directions since construction."""
+        return self.wire_bytes["up"] + self.wire_bytes["down"]
+
+    def reset_counters(self) -> None:
+        """Zero the traffic counters (e.g. after warm-up)."""
+        self.wire_bytes = {"up": 0, "down": 0}

@@ -1,0 +1,67 @@
+"""Transaction-layer packet (TLP) accounting.
+
+We do not simulate individual TLPs as events — at 100k+ packets per
+millisecond that would swamp the kernel.  Instead each modelled transfer is
+charged the *wire bytes* its TLPs would occupy: payload split at the
+Maximum Payload Size plus per-packet header/framing overhead.  The
+serialization time then follows from the link's effective byte rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+__all__ = ["TlpParams", "MEMRD_REQUEST_BYTES", "MSIX_BYTES"]
+
+#: Wire size of a memory-read request TLP (3-DW header + framing + DLLP share).
+MEMRD_REQUEST_BYTES = 24
+#: Wire size of an MSI-X interrupt (a small posted write).
+MSIX_BYTES = 28
+
+
+@dataclass(frozen=True)
+class TlpParams:
+    """Packetization parameters of a PCIe hierarchy.
+
+    ``mps``: Maximum Payload Size for posted writes / completions.
+    ``mrrs``: Maximum Read Request Size (one request TLP may ask for this
+    much; the completer answers with multiple completion TLPs of ``mps``).
+    ``per_tlp_overhead``: header + sequence + LCRC + framing per packet,
+    amortized DLLP (ACK/FC) traffic included.
+    """
+
+    mps: int = 256
+    mrrs: int = 512
+    per_tlp_overhead: int = 24
+
+    def __post_init__(self):
+        for field in ("mps", "mrrs"):
+            v = getattr(self, field)
+            if v < 128 or v & (v - 1):
+                raise ConfigError(f"{field} must be a power-of-two >= 128, got {v}")
+        if self.per_tlp_overhead < 0:
+            raise ConfigError("per_tlp_overhead must be >= 0")
+
+    def data_tlps(self, nbytes: int) -> int:
+        """Number of data-bearing TLPs for an *nbytes* write/completion."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        return -(-nbytes // self.mps) if nbytes else 0
+
+    def wire_bytes(self, nbytes: int) -> int:
+        """Wire bytes occupied by an *nbytes* data transfer (payload + overhead)."""
+        return nbytes + self.data_tlps(nbytes) * self.per_tlp_overhead
+
+    def read_requests(self, nbytes: int) -> int:
+        """Number of read-request TLPs needed to fetch *nbytes*."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        return -(-nbytes // self.mrrs) if nbytes else 0
+
+    def efficiency(self, nbytes: int) -> float:
+        """Payload fraction of wire bytes for an *nbytes* transfer."""
+        if nbytes <= 0:
+            return 0.0
+        return nbytes / self.wire_bytes(nbytes)

@@ -1,0 +1,13 @@
+"""Discrete-event simulation kernel (clock, processes, resources, stats)."""
+
+from .core import Condition, Event, Interrupt, Process, Simulator, Timeout
+from .resources import Resource, Store, TokenBucket
+from .stats import BandwidthMeter, LatencyCollector, Summary, summarize
+from .trace import GLOBAL_TRACER, TraceRecord, Tracer
+
+__all__ = [
+    "Condition", "Event", "Interrupt", "Process", "Simulator", "Timeout",
+    "Resource", "Store", "TokenBucket",
+    "BandwidthMeter", "LatencyCollector", "Summary", "summarize",
+    "GLOBAL_TRACER", "TraceRecord", "Tracer",
+]

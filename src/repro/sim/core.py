@@ -1,0 +1,424 @@
+"""Discrete-event simulation kernel.
+
+A lean, simpy-style kernel: *processes* are Python generators that ``yield``
+:class:`Event` objects to suspend until the event fires.  The clock is an
+integer count of nanoseconds.  Determinism is guaranteed by a monotonically
+increasing sequence number used as a heap tie-breaker, so two runs of the same
+model always interleave identically.
+
+Example
+-------
+>>> sim = Simulator()
+>>> log = []
+>>> def worker(sim, name, delay):
+...     yield sim.timeout(delay)
+...     log.append((sim.now, name))
+>>> _ = sim.process(worker(sim, "a", 10))
+>>> _ = sim.process(worker(sim, "b", 5))
+>>> sim.run()
+>>> log
+[(5, 'b'), (10, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from ..errors import SimulationError
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "Condition",
+    "Interrupt",
+    "Simulator",
+]
+
+#: Sentinel distinguishing "not yet triggered" from a ``None`` event value.
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    Events start *pending*; :meth:`succeed` (or :meth:`fail`) triggers them,
+    after which every registered callback runs at the current simulation time.
+    Yielding an already-triggered event resumes the process immediately (at
+    the same timestamp, after currently scheduled work).
+    """
+
+    __slots__ = ("sim", "_value", "_callbacks", "_exc")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._value: Any = _PENDING
+        self._exc: Optional[BaseException] = None
+        self._callbacks: Optional[list] = []
+
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed` or :meth:`fail` has been called."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self._callbacks is None
+
+    @property
+    def value(self) -> Any:
+        """The value the event was triggered with (raises if still pending)."""
+        if self._value is _PENDING:
+            raise SimulationError("event value read before trigger")
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """The failure exception, if :meth:`fail` was used."""
+        return self._exc
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event with *value*; callbacks run at the current time."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._value = value
+        self.sim._schedule(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with an exception, re-raised in waiting processes."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exc!r}")
+        self._value = exc
+        self._exc = exc
+        self.sim._schedule(self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run *fn(event)* when the event is processed.
+
+        If the event has already been processed the callback runs
+        synchronously right away.
+        """
+        if self._callbacks is None:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def _before_process(self) -> None:
+        """Hook run just before callbacks (used by deferred-value events)."""
+
+    def _process_callbacks(self) -> None:
+        callbacks, self._callbacks = self._callbacks, None
+        if callbacks:
+            for fn in callbacks:
+                fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires *delay* nanoseconds after creation.
+
+    The timeout counts as *triggered* only once its firing time arrives —
+    until then ``triggered`` is False, so conditions over pending timeouts
+    behave correctly.
+    """
+
+    __slots__ = ("delay", "_timeout_value")
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._timeout_value = value
+        sim._schedule(self, delay=delay)
+
+    def _before_process(self) -> None:
+        if self._value is _PENDING:
+            self._value = self._timeout_value
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The ``cause`` attribute carries the value given to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """A running generator; also an event that fires when the generator ends.
+
+    The generator yields :class:`Event` objects; its ``return`` value becomes
+    the process event's value, so processes can wait on each other:
+
+    >>> sim = Simulator()
+    >>> def child(sim):
+    ...     yield sim.timeout(3)
+    ...     return 42
+    >>> def parent(sim):
+    ...     result = yield sim.process(child(sim))
+    ...     return result
+    >>> p = sim.process(parent(sim))
+    >>> sim.run()
+    >>> p.value
+    42
+    """
+
+    __slots__ = ("_gen", "_waiting_on", "name")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        super().__init__(sim)
+        if not hasattr(gen, "send"):
+            raise TypeError(f"process body must be a generator, got {gen!r}")
+        self._gen = gen
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(gen, "__name__", "process")
+        # Kick off at the current time.
+        bootstrap = Event(sim)
+        bootstrap.add_callback(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Only valid while the process is alive and waiting on an event.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished process {self.name}")
+        if self._waiting_on is None:
+            raise SimulationError(f"process {self.name} is not waiting")
+        waited = self._waiting_on
+        kick = Event(self.sim)
+        kick.add_callback(lambda _ev: self._throw(waited, cause))
+        kick.succeed()
+
+    def _throw(self, waited: Event, cause: Any) -> None:
+        if not self.is_alive or self._waiting_on is not waited:
+            return  # the awaited event fired before the interrupt landed
+        self._waiting_on = None
+        self._step(lambda: self._gen.throw(Interrupt(cause)))
+
+    def _resume(self, event: Event) -> None:
+        if not self.is_alive:
+            return  # stale wakeup after the process already finished
+        if self._waiting_on is not event and self._waiting_on is not None:
+            return  # stale wakeup after an interrupt
+        self._waiting_on = None
+        if event._exc is not None:
+            self._step(lambda: self._gen.throw(event._exc))
+        else:
+            self._step(lambda: self._gen.send(event._value))
+
+    def _step(self, advance: Callable[[], Any]) -> None:
+        try:
+            target = advance()
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except Interrupt as exc:
+            # Process let an interrupt escape: treat as failure.
+            self._fail_process(exc)
+            return
+        except Exception as exc:
+            self._fail_process(exc)
+            return
+        if not isinstance(target, Event):
+            exc = SimulationError(
+                f"process {self.name} yielded {target!r}, expected an Event")
+            self._gen.close()
+            self._fail_process(exc)
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    def _finish(self, value: Any) -> None:
+        self._value = value
+        self.sim._schedule(self)
+
+    def _fail_process(self, exc: BaseException) -> None:
+        self._value = exc
+        self._exc = exc
+        self.sim._schedule(self)
+
+    def _process_callbacks(self) -> None:
+        # A crash is "handled" when some other process was waiting on us
+        # (the exception is thrown into that process); otherwise it must
+        # surface from Simulator.run().
+        handled = bool(self._callbacks)
+        super()._process_callbacks()
+        if self._exc is not None and not handled:
+            self.sim._crashed.append((self, self._exc))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if not self.is_alive else "alive"
+        return f"<Process {self.name} {state}>"
+
+
+class Condition(Event):
+    """Fires when *all* (or *any*, with ``mode='any'``) child events fire.
+
+    Value is the list of child event values in the order given (for ``any``
+    mode, untriggered children contribute ``None``).
+    """
+
+    __slots__ = ("_events", "_mode", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event], mode: str = "all"):
+        super().__init__(sim)
+        if mode not in ("all", "any"):
+            raise ValueError(f"mode must be 'all' or 'any', got {mode!r}")
+        self._events = list(events)
+        self._mode = mode
+        self._remaining = len(self._events)
+        if not self._events:
+            self.succeed([])
+            return
+        for ev in self._events:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._exc is not None:
+            self.fail(event._exc)
+            return
+        self._remaining -= 1
+        done = self._remaining == 0 if self._mode == "all" else True
+        if done:
+            self.succeed([
+                (ev._value if ev.triggered and ev._exc is None else None)
+                for ev in self._events
+            ])
+
+
+class Simulator:
+    """The event loop: clock, heap scheduler, and process factory."""
+
+    def __init__(self):
+        self._now: int = 0
+        self._heap: list = []
+        self._seq: int = 0
+        self._crashed: list = []
+        #: hook invoked as ``trace(time, event)`` for every processed event
+        self.trace_hook: Optional[Callable[[int, Event], None]] = None
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    # -- factories ----------------------------------------------------------
+    def event(self) -> Event:
+        """A fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """An event firing *delay* ns from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        """Register *gen* as a process starting at the current time."""
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> Condition:
+        """Event that fires once every event in *events* has fired."""
+        return Condition(self, events, mode="all")
+
+    def any_of(self, events: Iterable[Event]) -> Condition:
+        """Event that fires once any event in *events* has fired."""
+        return Condition(self, events, mode="any")
+
+    # -- scheduling ---------------------------------------------------------
+    def _schedule(self, event: Event, delay: int = 0) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        when, _seq, event = heapq.heappop(self._heap)
+        if when < self._now:
+            raise SimulationError("time went backwards")  # pragma: no cover
+        self._now = when
+        if self.trace_hook is not None:
+            self.trace_hook(when, event)
+        event._before_process()
+        event._process_callbacks()
+
+    def run(self, until: Optional[int] = None) -> None:
+        """Run until the heap drains, or until time *until* (ns) is reached.
+
+        Raises the first exception that escaped a process, if any.
+        """
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self._now = until
+                break
+            self.step()
+            if self._crashed:
+                proc, exc = self._crashed.pop(0)
+                raise SimulationError(
+                    f"process {proc.name!r} crashed at t={self._now}") from exc
+        else:
+            if until is not None and until > self._now:
+                self._now = until
+
+    def run_until(self, event: Event, until: Optional[int] = None) -> None:
+        """Run until *event* triggers (or the heap drains / time *until*).
+
+        Unlike :meth:`run`, this stops as soon as the event fires even while
+        perpetual background processes (pollers, device engines) keep the
+        heap populated.
+        """
+        while self._heap and not event.triggered:
+            if until is not None and self._heap[0][0] > until:
+                self._now = until
+                return
+            self.step()
+            if self._crashed:
+                proc, exc = self._crashed.pop(0)
+                raise SimulationError(
+                    f"process {proc.name!r} crashed at t={self._now}") from exc
+
+    def run_process(self, gen: Generator, until: Optional[int] = None) -> Any:
+        """Convenience: run *gen* as a process to completion, return its value.
+
+        Stops as soon as the process finishes — perpetual background
+        processes don't prevent the return.  If the process itself raises,
+        the original exception is re-raised (not the kernel's
+        SimulationError wrapper).
+        """
+        proc = self.process(gen)
+        # run_process itself observes the outcome, so a failure must not be
+        # re-reported as an unhandled crash when the heap is drained later.
+        proc.add_callback(lambda _e: None)
+        try:
+            self.run_until(proc, until=until)
+        except SimulationError:
+            if proc.triggered and proc.exception is not None:
+                raise proc.exception from None
+            raise
+        if not proc.triggered:
+            raise SimulationError(
+                f"process {proc.name!r} did not finish by t={self._now}")
+        if proc.exception is not None:
+            raise proc.exception
+        return proc.value

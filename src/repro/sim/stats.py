@@ -1,0 +1,165 @@
+"""Measurement helpers: bandwidth meters, latency collectors, summaries."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..units import gbps_for
+
+__all__ = ["BandwidthMeter", "LatencyCollector", "Summary", "summarize"]
+
+
+@dataclass
+class Summary:
+    """Summary statistics of a sample set (times in ns unless noted)."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    stdev: float
+    p50: float
+    p99: float
+
+    def __str__(self) -> str:
+        return (f"n={self.count} mean={self.mean:.1f} min={self.minimum:.1f} "
+                f"max={self.maximum:.1f} p50={self.p50:.1f} p99={self.p99:.1f}")
+
+
+def _percentile(sorted_vals: List[float], q: float) -> float:
+    """Linear-interpolated percentile of pre-sorted values, q in [0, 100]."""
+    if not sorted_vals:
+        raise ValueError("percentile of empty sample")
+    if len(sorted_vals) == 1:
+        return sorted_vals[0]
+    pos = (q / 100.0) * (len(sorted_vals) - 1)
+    lo = int(math.floor(pos))
+    hi = min(lo + 1, len(sorted_vals) - 1)
+    frac = pos - lo
+    a, b = sorted_vals[lo], sorted_vals[hi]
+    if a == b:
+        return a  # also avoids float underflow on subnormal values
+    return a * (1 - frac) + b * frac
+
+
+def summarize(samples: List[float]) -> Summary:
+    """Summary statistics for a non-empty sample list."""
+    if not samples:
+        raise ValueError("cannot summarize empty sample set")
+    vals = sorted(samples)
+    n = len(vals)
+    mean = sum(vals) / n
+    var = sum((v - mean) ** 2 for v in vals) / n
+    return Summary(
+        count=n,
+        mean=mean,
+        minimum=vals[0],
+        maximum=vals[-1],
+        stdev=math.sqrt(var),
+        p50=_percentile(vals, 50),
+        p99=_percentile(vals, 99),
+    )
+
+
+class BandwidthMeter:
+    """Accumulates (time, byte-count) records; reports achieved bandwidth.
+
+    ``record(now, n)`` marks *n* bytes completing at time *now*.  Bandwidth
+    is computed over the span from the *start mark* (defaults to the first
+    record) to the last record.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.total_bytes = 0
+        self.first_ns: Optional[int] = None
+        self.last_ns: Optional[int] = None
+        self._start_mark: Optional[int] = None
+        self._window: List[Tuple[int, int]] = []
+        self.keep_window = False
+
+    def mark_start(self, now: int) -> None:
+        """Pin the measurement start (e.g. when the workload is issued)."""
+        self._start_mark = now
+
+    def record(self, now: int, nbytes: int) -> None:
+        """Record *nbytes* completed at time *now*."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        self.total_bytes += nbytes
+        if self.first_ns is None:
+            self.first_ns = now
+        self.last_ns = now
+        if self.keep_window:
+            self._window.append((now, nbytes))
+
+    @property
+    def elapsed_ns(self) -> int:
+        """Span from start mark (or first record) to last record."""
+        if self.last_ns is None:
+            return 0
+        start = self._start_mark if self._start_mark is not None else self.first_ns
+        return max(0, self.last_ns - start)
+
+    def gbps(self) -> float:
+        """Achieved bandwidth in decimal GB/s over the recorded span."""
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return gbps_for(self.total_bytes, self.elapsed_ns)
+
+    def interval_gbps(self, window_ns: int) -> List[float]:
+        """Per-interval bandwidths (requires ``keep_window = True``).
+
+        Buckets records into consecutive *window_ns* intervals from the
+        start mark and returns the bandwidth of each non-empty bucket.
+        This exposes e.g. the paper's alternating write bandwidth.
+        """
+        if not self.keep_window:
+            raise ValueError("interval_gbps requires keep_window=True")
+        if not self._window:
+            return []
+        start = self._start_mark if self._start_mark is not None else self._window[0][0]
+        buckets: dict = {}
+        last_time = start
+        for now, nbytes in self._window:
+            # A record marks bytes that completed *by* time `now`, so a record
+            # landing exactly on a boundary belongs to the preceding bucket.
+            idx = max(0, now - start - 1) // window_ns
+            buckets[idx] = buckets.get(idx, 0) + nbytes
+            last_time = max(last_time, now)
+        if not buckets:
+            return []
+        last_idx = max(buckets)
+        out = []
+        for idx in sorted(buckets):
+            span = window_ns
+            if idx == last_idx:
+                span = max(1, min(window_ns, last_time - start - idx * window_ns))
+            out.append(gbps_for(buckets[idx], span))
+        return out
+
+
+@dataclass
+class LatencyCollector:
+    """Collects per-operation latencies in nanoseconds."""
+
+    name: str = ""
+    samples: List[int] = field(default_factory=list)
+
+    def record(self, latency_ns: int) -> None:
+        """Record one completed operation's latency."""
+        if latency_ns < 0:
+            raise ValueError(f"latency must be >= 0, got {latency_ns}")
+        self.samples.append(latency_ns)
+
+    def summary(self) -> Summary:
+        """Summary statistics over the collected samples (ns)."""
+        return summarize([float(s) for s in self.samples])
+
+    def mean_us(self) -> float:
+        """Mean latency in microseconds."""
+        if not self.samples:
+            raise ValueError(f"no samples in collector {self.name!r}")
+        return sum(self.samples) / len(self.samples) / 1000.0

@@ -1,0 +1,72 @@
+"""Structured event tracing.
+
+Components emit trace records through a shared :class:`Tracer`; tests and
+debugging sessions inspect the ring buffer.  Tracing is off by default and
+costs a single attribute check per emit when disabled.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence."""
+
+    time_ns: int
+    source: str
+    event: str
+    fields: Dict[str, Any]
+
+    def __str__(self) -> str:
+        kv = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        return f"[{self.time_ns:>12} ns] {self.source:<24} {self.event:<20} {kv}"
+
+
+class Tracer:
+    """Ring buffer of :class:`TraceRecord` with optional per-record sink."""
+
+    def __init__(self, capacity: int = 65536, enabled: bool = False):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.enabled = enabled
+        self._records: Deque[TraceRecord] = deque(maxlen=capacity)
+        #: optional callback invoked for every record (e.g. print)
+        self.sink: Optional[Callable[[TraceRecord], None]] = None
+
+    def emit(self, time_ns: int, source: str, event: str, **fields: Any) -> None:
+        """Record an occurrence (no-op unless enabled)."""
+        if not self.enabled:
+            return
+        rec = TraceRecord(time_ns=time_ns, source=source, event=event, fields=fields)
+        self._records.append(rec)
+        if self.sink is not None:
+            self.sink(rec)
+
+    def records(self, source: Optional[str] = None,
+                event: Optional[str] = None) -> List[TraceRecord]:
+        """Records, optionally filtered by source and/or event name."""
+        out = []
+        for rec in self._records:
+            if source is not None and rec.source != source:
+                continue
+            if event is not None and rec.event != event:
+                continue
+            out.append(rec)
+        return out
+
+    def clear(self) -> None:
+        """Drop all buffered records."""
+        self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+#: A process-wide tracer that components default to; disabled by default.
+GLOBAL_TRACER = Tracer()

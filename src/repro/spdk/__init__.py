@@ -1,0 +1,11 @@
+"""SPDK-like host baseline: polled user-space NVMe driver + CPU model."""
+
+from .bench import IoRunResult, SpdkPerf
+from .cpu import CpuThread
+from .driver import IoHandle, SpdkConfig, SpdkNvmeDriver
+
+__all__ = [
+    "IoRunResult", "SpdkPerf",
+    "CpuThread",
+    "IoHandle", "SpdkConfig", "SpdkNvmeDriver",
+]

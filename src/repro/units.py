@@ -1,0 +1,96 @@
+"""Unit helpers used throughout the simulation.
+
+All simulation time is measured in **integer nanoseconds**.  Bandwidth is
+usually expressed in the units the paper uses (GB/s, decimal gigabytes per
+second) and converted to per-byte serialization delays with :func:`ns_for_bytes`.
+
+Sizes follow the NVMe convention: addresses and buffer sizes are binary
+(KiB/MiB), reported bandwidths are decimal (GB/s), mirroring the paper.
+"""
+
+from __future__ import annotations
+
+# --- sizes (binary) ---------------------------------------------------------
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+# --- sizes (decimal, used for bandwidth maths) ------------------------------
+KB = 1000
+MB = 1000 * KB
+GB = 1000 * MB
+
+# --- time (integer nanoseconds) ---------------------------------------------
+NS = 1
+US = 1_000
+MS = 1_000_000
+SEC = 1_000_000_000
+
+#: NVMe / host page size; PRP granularity.
+PAGE = 4 * KiB
+
+
+def ns_for_bytes(nbytes: int, gbps: float) -> int:
+    """Serialization delay in ns for *nbytes* at *gbps* decimal GB/s.
+
+    Rounds up so that modelled links never exceed their nominal bandwidth.
+
+    >>> ns_for_bytes(4096, 4.096)
+    1000
+    """
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+    if gbps <= 0:
+        raise ValueError(f"bandwidth must be > 0, got {gbps}")
+    # ns = bytes / (GB/s) * 1e9 / 1e9 = bytes / gbps  (since 1 GB = 1e9 B)
+    return -(-nbytes * SEC // int(gbps * SEC))
+
+
+def gbps_for(nbytes: int, elapsed_ns: int) -> float:
+    """Achieved bandwidth in decimal GB/s for *nbytes* over *elapsed_ns*."""
+    if elapsed_ns <= 0:
+        raise ValueError(f"elapsed_ns must be > 0, got {elapsed_ns}")
+    return nbytes / elapsed_ns  # B/ns == GB/s
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round *value* up to the next multiple of *alignment* (a power of two)."""
+    if alignment <= 0 or alignment & (alignment - 1):
+        raise ValueError(f"alignment must be a power of two, got {alignment}")
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round *value* down to a multiple of *alignment* (a power of two)."""
+    if alignment <= 0 or alignment & (alignment - 1):
+        raise ValueError(f"alignment must be a power of two, got {alignment}")
+    return value & ~(alignment - 1)
+
+
+def is_aligned(value: int, alignment: int) -> bool:
+    """True if *value* is a multiple of power-of-two *alignment*."""
+    if alignment <= 0 or alignment & (alignment - 1):
+        raise ValueError(f"alignment must be a power of two, got {alignment}")
+    return (value & (alignment - 1)) == 0
+
+
+def fmt_size(nbytes: int) -> str:
+    """Human-readable binary size string ('4.0 KiB', '64 MiB', ...)."""
+    if nbytes < KiB:
+        return f"{nbytes} B"
+    for unit, name in ((GiB, "GiB"), (MiB, "MiB"), (KiB, "KiB")):
+        if nbytes >= unit:
+            val = nbytes / unit
+            return f"{val:.0f} {name}" if val == int(val) else f"{val:.1f} {name}"
+    raise AssertionError("unreachable")
+
+
+def fmt_time(ns: int) -> str:
+    """Human-readable time string from integer nanoseconds."""
+    if ns >= SEC:
+        return f"{ns / SEC:.3f} s"
+    if ns >= MS:
+        return f"{ns / MS:.3f} ms"
+    if ns >= US:
+        return f"{ns / US:.2f} us"
+    return f"{ns} ns"

@@ -1,0 +1,42 @@
+"""Record layout and header encoding."""
+
+import pytest
+
+from repro.apps import DatabaseLayout, ImageSpec, RecordHeader
+from repro.errors import ConfigError
+from repro.units import KiB
+
+
+class TestRecordHeader:
+    def test_roundtrip(self):
+        h = RecordHeader(image_id=42, length=1000, klass=3, confidence=0.75)
+        back = RecordHeader.unpack(h.pack())
+        assert back.image_id == 42
+        assert back.length == 1000
+        assert back.klass == 3
+        assert back.confidence == pytest.approx(0.75)
+
+    def test_pack_is_one_page(self):
+        assert len(RecordHeader(1, 2, 3, 0.5).pack()) == 4 * KiB
+
+    def test_unclassified_sentinel(self):
+        back = RecordHeader.unpack(RecordHeader(0, 0, -1, 0.0).pack())
+        assert back.klass == -1
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ConfigError):
+            RecordHeader.unpack(bytes(4 * KiB))
+
+
+class TestDatabaseLayout:
+    def test_slot_geometry(self):
+        layout = DatabaseLayout.for_spec(ImageSpec())
+        assert layout.slot_bytes % (4 * KiB) == 0
+        assert layout.slot_bytes >= ImageSpec().nbytes + 4 * KiB
+
+    def test_addresses_disjoint(self):
+        layout = DatabaseLayout(image_bytes=100_000)
+        assert layout.header_addr(0) == 0
+        assert layout.body_addr(0) == 4 * KiB
+        assert layout.header_addr(1) == layout.slot_bytes
+        assert layout.body_addr(0) + 100_000 <= layout.header_addr(1)

@@ -1,0 +1,88 @@
+"""Synthetic imaging + the quantized classifier."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (CLASSIFIER_RES, ClassifierModel, ImageFactory,
+                        ImageSpec, downscale)
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def factory():
+    return ImageFactory(n_classes=6)
+
+
+@pytest.fixture(scope="module")
+def model(factory):
+    return ClassifierModel(factory)
+
+
+class TestImageFactory:
+    def test_image_shape_and_dtype(self, factory):
+        img, k = factory.make(0)
+        assert img.shape == (1792, 1792, 3)
+        assert img.dtype == np.uint8
+        assert k == 0
+
+    def test_class_cycles_with_id(self, factory):
+        assert factory.make(1)[1] == 1
+        assert factory.make(7)[1] == 1  # 7 % 6
+
+    def test_deterministic_texture_differs_by_class(self, factory):
+        a, _ = factory.make(0, klass=0)
+        b, _ = factory.make(0, klass=3)
+        assert not np.array_equal(a, b)
+
+    def test_make_bytes_flattens(self, factory):
+        raw, _ = factory.make_bytes(0)
+        assert raw.shape == (ImageSpec().nbytes,)
+
+    def test_bad_class_rejected(self, factory):
+        with pytest.raises(ConfigError):
+            factory.make(0, klass=99)
+
+    def test_too_small_spec_rejected(self):
+        with pytest.raises(ConfigError):
+            ImageFactory(ImageSpec(height=100, width=100))
+
+
+class TestDownscale:
+    def test_output_shape(self, factory):
+        img, _ = factory.make(0)
+        small = downscale(img)
+        assert small.shape == (CLASSIFIER_RES, CLASSIFIER_RES, 3)
+
+    def test_inverts_synthetic_upsampling(self, factory):
+        """Area downscale of the noise-free texture recovers it exactly."""
+        quiet = ImageFactory(n_classes=4, noise=0.0)
+        img, k = quiet.make(0)
+        small = downscale(img).astype(np.int32)
+        base = np.clip(quiet._bases[k], 0, 255).astype(np.int32)
+        assert np.abs(small - base).max() <= 1  # rounding only
+
+    def test_upscale_rejected(self):
+        with pytest.raises(ConfigError):
+            downscale(np.zeros((100, 100, 3), dtype=np.uint8))
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ConfigError):
+            downscale(np.zeros((224, 224), dtype=np.uint8))
+
+
+class TestClassifier:
+    def test_classifies_all_classes_correctly(self, factory, model):
+        for k in range(factory.n_classes):
+            img, _ = factory.make(100 + k, klass=k)
+            result = model.classify(downscale(img))
+            assert result.klass == k
+            assert result.confidence > 0.5
+
+    def test_wrong_input_shape_rejected(self, model):
+        with pytest.raises(ConfigError):
+            model.classify(np.zeros((100, 100, 3), dtype=np.uint8))
+
+    def test_confidence_is_probability(self, factory, model):
+        img, _ = factory.make(0)
+        c = model.classify(downscale(img))
+        assert 0.0 < c.confidence <= 1.0

@@ -1,0 +1,54 @@
+"""The experiment harness itself: bands, result tables, rendering."""
+
+import pytest
+
+from repro.bench import Band, ExperimentResult
+
+
+class TestBand:
+    def test_contains(self):
+        b = Band(1.0, 2.0)
+        assert b.contains(1.0) and b.contains(2.0) and b.contains(1.5)
+        assert not b.contains(0.99) and not b.contains(2.01)
+
+    def test_point_tolerance(self):
+        b = Band.point(10.0, tol=0.1)
+        assert b.contains(9.5) and b.contains(10.5)
+        assert not b.contains(8.9)
+
+    def test_str(self):
+        assert str(Band(1.0, 1.0)) == "1.00"
+        assert str(Band(1.0, 2.0)) == "1.00-2.00"
+
+
+class TestExperimentResult:
+    def make(self):
+        r = ExperimentResult("figX", "demo")
+        r.add("bw", "sysA", 5.0, "GB/s", Band(4.0, 6.0))
+        r.add("bw", "sysB", 9.0, "GB/s", Band(4.0, 6.0))
+        r.add("bw", "sysC", 1.0, "GB/s")  # no target
+        return r
+
+    def test_in_band_flags(self):
+        r = self.make()
+        assert r.row("bw", "sysA").in_band is True
+        assert r.row("bw", "sysB").in_band is False
+        assert r.row("bw", "sysC").in_band is None
+
+    def test_all_in_band(self):
+        r = self.make()
+        assert not r.all_in_band
+        r2 = ExperimentResult("y", "t")
+        r2.add("s", "a", 5.0, "u", Band(4, 6))
+        r2.add("s", "b", 5.0, "u")
+        assert r2.all_in_band
+
+    def test_missing_row_raises(self):
+        with pytest.raises(KeyError):
+            self.make().row("bw", "nope")
+
+    def test_render_marks_violations(self):
+        text = self.make().render()
+        assert "[in band]" in text
+        assert "[OUT OF BAND]" in text
+        assert "figX" in text

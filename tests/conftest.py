@@ -1,0 +1,18 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    """A fresh simulator."""
+    return Simulator()
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG for data generation."""
+    return np.random.default_rng(0xC0FFEE)

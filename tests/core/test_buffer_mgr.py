@@ -1,0 +1,119 @@
+"""Extent allocator: contiguity, 4 KiB grains, arbitrary-order frees."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ExtentAllocator
+from repro.errors import StreamerError
+from repro.sim import Simulator
+from repro.units import KiB, MiB
+
+
+class TestBasics:
+    def test_allocations_aligned_and_disjoint(self, sim):
+        a = ExtentAllocator(sim, 1 * MiB)
+        offs = [a.try_allocate(10 * KiB) for _ in range(4)]
+        assert all(o is not None and o % (4 * KiB) == 0 for o in offs)
+        # 10 KiB pads to 12 KiB
+        assert sorted(offs) == [0, 12 * KiB, 24 * KiB, 36 * KiB]
+
+    def test_full_returns_none(self, sim):
+        a = ExtentAllocator(sim, 16 * KiB)
+        assert a.try_allocate(16 * KiB) == 0
+        assert a.try_allocate(4 * KiB) is None
+
+    def test_free_and_reuse(self, sim):
+        a = ExtentAllocator(sim, 16 * KiB)
+        o = a.try_allocate(16 * KiB)
+        a.free(o)
+        assert a.try_allocate(16 * KiB) == 0
+
+    def test_out_of_order_frees_coalesce(self, sim):
+        a = ExtentAllocator(sim, 64 * KiB)
+        offs = [a.try_allocate(16 * KiB) for _ in range(4)]
+        a.free(offs[1])
+        a.free(offs[3])
+        a.free(offs[2])   # middle freed last: must coalesce both sides
+        assert a.try_allocate(48 * KiB) == 16 * KiB
+
+    def test_double_free_rejected(self, sim):
+        a = ExtentAllocator(sim, 16 * KiB)
+        o = a.try_allocate(4 * KiB)
+        a.free(o)
+        with pytest.raises(StreamerError):
+            a.free(o)
+
+    def test_oversized_rejected(self, sim):
+        a = ExtentAllocator(sim, 16 * KiB)
+        with pytest.raises(StreamerError):
+            a.try_allocate(32 * KiB)
+        with pytest.raises(StreamerError):
+            a.try_allocate(0)
+
+    def test_shrink_releases_tail(self, sim):
+        a = ExtentAllocator(sim, 64 * KiB)
+        o = a.try_allocate(64 * KiB)
+        a.shrink(o, 8 * KiB)
+        assert a.try_allocate(56 * KiB) == 8 * KiB
+
+    def test_shrink_cannot_grow(self, sim):
+        a = ExtentAllocator(sim, 64 * KiB)
+        o = a.try_allocate(8 * KiB)
+        with pytest.raises(StreamerError):
+            a.shrink(o, 16 * KiB)
+
+    def test_blocking_allocate_waits_for_free(self, sim):
+        a = ExtentAllocator(sim, 16 * KiB)
+        first = a.try_allocate(16 * KiB)
+        got = []
+
+        def waiter():
+            off = yield from a.allocate(4 * KiB)
+            got.append((sim.now, off))
+
+        def freer():
+            yield sim.timeout(100)
+            a.free(first)
+
+        sim.process(waiter())
+        sim.process(freer())
+        sim.run()
+        assert got == [(100, 0)]
+
+    def test_high_watermark(self, sim):
+        a = ExtentAllocator(sim, 64 * KiB)
+        o1 = a.try_allocate(16 * KiB)
+        o2 = a.try_allocate(16 * KiB)
+        a.free(o1)
+        a.free(o2)
+        assert a.high_watermark == 32 * KiB
+        assert a.used == 0
+
+
+class TestProperty:
+    @given(st.lists(st.tuples(st.booleans(),
+                              st.integers(min_value=1, max_value=64 * KiB)),
+                    min_size=1, max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_no_overlap_ever(self, ops):
+        """Live extents never overlap; free bytes account exactly."""
+        sim = Simulator()
+        a = ExtentAllocator(sim, 256 * KiB)
+        live = {}
+        import random
+        rnd = random.Random(42)
+        for is_alloc, size in ops:
+            if is_alloc or not live:
+                off = a.try_allocate(size)
+                if off is not None:
+                    padded = (size + 4095) & ~4095
+                    for o2, s2 in live.items():
+                        assert off + padded <= o2 or o2 + s2 <= off
+                    live[off] = padded
+            else:
+                off = rnd.choice(list(live))
+                a.free(off)
+                del live[off]
+            assert a.used == sum(live.values())
+            assert a.free_bytes == 256 * KiB - a.used

@@ -1,0 +1,154 @@
+"""On-the-fly PRP synthesis: the bit-mirror and register-file schemes."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import RegfilePrpEngine, UramPrpEngine
+from repro.errors import StreamerError
+from repro.units import MiB, PAGE
+
+WINDOW = 0x20_0080_0000  # aligned to 8 MiB
+
+
+def unpack(raw):
+    return list(struct.unpack(f"<{len(raw) // 8}Q", raw))
+
+
+class TestUramScheme:
+    def engine(self):
+        return UramPrpEngine(WINDOW, 4 * MiB)
+
+    def test_mirror_bit_is_22_for_4mib(self):
+        assert self.engine().mirror_bit == 22
+
+    def test_single_page(self):
+        prp1, prp2 = self.engine().entries_for(0x3000, 1)
+        assert prp1 == WINDOW + 0x3000 and prp2 == 0
+
+    def test_two_pages_direct(self):
+        prp1, prp2 = self.engine().entries_for(0x3000, 2)
+        assert prp2 == WINDOW + 0x4000
+
+    def test_list_prp2_has_mirror_bit(self):
+        eng = self.engine()
+        prp1, prp2 = eng.entries_for(0x3000, 256)
+        # second data page mirrored into the upper half: bit 22 set
+        assert prp2 == WINDOW + 4 * MiB + 0x4000
+        assert (prp2 - WINDOW) & (1 << 22)
+
+    def test_synth_recovers_consecutive_pages(self):
+        """The controller's list read returns exactly the remaining PRPs."""
+        eng = self.engine()
+        buf_off = 0x10000
+        _prp1, prp2 = eng.entries_for(buf_off, 256)
+        mirror_off = prp2 - WINDOW - 4 * MiB
+        entries = unpack(eng.synth_read(mirror_off, 255 * 8))
+        expected = [WINDOW + buf_off + (k + 1) * PAGE for k in range(255)]
+        assert entries == expected
+
+    def test_synth_partial_read_with_offset(self):
+        """Reads at an offset within the list page yield later entries."""
+        eng = self.engine()
+        _p1, prp2 = eng.entries_for(0x20000, 256)
+        mirror_off = prp2 - WINDOW - 4 * MiB
+        entries = unpack(eng.synth_read(mirror_off + 10 * 8, 5 * 8))
+        expected = [WINDOW + 0x20000 + (11 + k) * PAGE for k in range(5)]
+        assert entries == expected
+
+    def test_unaligned_offset_rejected(self):
+        with pytest.raises(StreamerError):
+            self.engine().entries_for(0x1001, 2)
+
+    def test_misaligned_synth_rejected(self):
+        with pytest.raises(StreamerError):
+            self.engine().synth_read(0, 7)
+
+    def test_bad_window_alignment_rejected(self):
+        with pytest.raises(StreamerError):
+            UramPrpEngine(0x1000, 4 * MiB)
+
+    def test_non_power_of_two_buffer_rejected(self):
+        with pytest.raises(StreamerError):
+            UramPrpEngine(WINDOW, 3 * MiB)
+
+    @given(st.integers(min_value=0, max_value=(4 * MiB // PAGE) - 256),
+           st.integers(min_value=3, max_value=256))
+    @settings(max_examples=50, deadline=None)
+    def test_property_walk_equals_direct(self, page0, npages):
+        """Walking the synthesized list reproduces base + k*4096 exactly."""
+        eng = self.engine()
+        buf_off = page0 * PAGE
+        prp1, prp2 = eng.entries_for(buf_off, npages)
+        mirror_off = prp2 - WINDOW - 4 * MiB
+        entries = unpack(eng.synth_read(mirror_off, (npages - 1) * 8))
+        assert entries[0] == prp1 + PAGE
+        for a, b in zip(entries, entries[1:]):
+            assert b - a == PAGE
+
+
+class TestRegfileScheme:
+    PRP_WINDOW = 0x20_0000_0000
+
+    def engine(self):
+        return RegfilePrpEngine(self.PRP_WINDOW, nslots=64)
+
+    def test_direct_modes_skip_regfile(self):
+        eng = self.engine()
+        p1, p2 = eng.entries_for(0x8000, 1, slot=3)
+        assert (p1, p2) == (0x8000, 0)
+        p1, p2 = eng.entries_for(0x8000, 2, slot=3)
+        assert p2 == 0x9000
+        with pytest.raises(StreamerError):
+            eng.synth_read(3 * PAGE, 8)  # nothing registered
+
+    def test_list_mode_uses_slot_page(self):
+        eng = self.engine()
+        _p1, p2 = eng.entries_for(0x10000, 256, slot=5)
+        assert p2 == self.PRP_WINDOW + 5 * PAGE
+        entries = unpack(eng.synth_read(5 * PAGE, 255 * 8))
+        assert entries == [0x10000 + (k + 1) * PAGE for k in range(255)]
+
+    def test_translate_applies_per_entry(self):
+        """Host-DRAM chunk translation: each entry resolved individually."""
+        eng = self.engine()
+        # chunks of 4 MiB: logical 0 -> 0x5000_0000, logical 4MiB -> 0x7000_0000
+        def translate(off):
+            return (0x5000_0000 + off if off < 4 * MiB
+                    else 0x7000_0000 + (off - 4 * MiB))
+        base = 4 * MiB - 2 * PAGE  # command straddles the chunk boundary
+        _p1, p2 = eng.entries_for(base, 4, slot=0, translate=translate)
+        entries = unpack(eng.synth_read(0, 3 * 8))
+        assert entries[0] == 0x5000_0000 + 4 * MiB - PAGE
+        assert entries[1] == 0x7000_0000          # crossed into chunk 2
+        assert entries[2] == 0x7000_0000 + PAGE
+
+    def test_slots_are_independent(self):
+        eng = self.engine()
+        eng.entries_for(0x10000, 4, slot=1)
+        eng.entries_for(0x50000, 4, slot=2)
+        e1 = unpack(eng.synth_read(1 * PAGE, 8))
+        e2 = unpack(eng.synth_read(2 * PAGE, 8))
+        assert e1 == [0x11000] and e2 == [0x51000]
+
+    def test_release_clears_slot(self):
+        eng = self.engine()
+        eng.entries_for(0x10000, 4, slot=1)
+        eng.release(1)
+        with pytest.raises(StreamerError):
+            eng.synth_read(1 * PAGE, 8)
+
+    def test_bad_slot_rejected(self):
+        eng = self.engine()
+        with pytest.raises(StreamerError):
+            eng.entries_for(0, 4, slot=64)
+        with pytest.raises(StreamerError):
+            eng.release(-1)
+
+    def test_read_across_slot_page_rejected(self):
+        eng = self.engine()
+        eng.entries_for(0x10000, 256, slot=0)
+        with pytest.raises(StreamerError):
+            eng.synth_read(PAGE - 8, 16)  # straddles into slot 1's page

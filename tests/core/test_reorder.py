@@ -1,0 +1,199 @@
+"""Reorder buffer: OoO completion bits, in-order retirement, OoO extension."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ReorderBuffer, RobEntry
+from repro.errors import StreamerError
+from repro.sim import Simulator
+
+
+def entry(kind="read", n=4096):
+    return RobEntry(kind=kind, device_addr=0, nbytes=n, buf_offset=0,
+                    user_last=True)
+
+
+class TestAllocation:
+    def test_window_fills_then_blocks(self, sim):
+        rob = ReorderBuffer(sim, 4)
+        cids = [rob.try_allocate(entry()) for _ in range(4)]
+        assert all(c is not None for c in cids)
+        assert rob.try_allocate(entry()) is None
+        assert rob.in_flight == 4
+
+    def test_cids_map_to_slots(self, sim):
+        rob = ReorderBuffer(sim, 4)
+        cids = [rob.try_allocate(entry()) for _ in range(4)]
+        assert [c % 4 for c in cids] == [0, 1, 2, 3]
+
+    def test_depth_must_be_power_of_two(self, sim):
+        with pytest.raises(StreamerError):
+            ReorderBuffer(sim, 3)
+
+    def test_blocking_allocate(self, sim):
+        rob = ReorderBuffer(sim, 2)
+        c0 = rob.try_allocate(entry())
+        rob.try_allocate(entry())
+        got = []
+
+        def alloc():
+            cid = yield from rob.allocate(entry())
+            got.append((sim.now, cid))
+
+        def complete_and_pop():
+            yield sim.timeout(50)
+            rob.complete(c0, 0)
+            yield from rob.pop_next()
+
+        sim.process(alloc())
+        sim.process(complete_and_pop())
+        sim.run()
+        assert got[0][0] == 50
+
+
+class TestInOrderRetirement:
+    def test_out_of_order_completions_retire_in_order(self, sim):
+        rob = ReorderBuffer(sim, 8)
+        entries = [entry() for _ in range(3)]
+        cids = [rob.try_allocate(e) for e in entries]
+        popped = []
+
+        def popper():
+            for _ in range(3):
+                e = yield from rob.pop_next()
+                popped.append((sim.now, e.cid))
+
+        def completer():
+            yield sim.timeout(10)
+            rob.complete(cids[2], 0)      # youngest completes first
+            yield sim.timeout(10)
+            rob.complete(cids[1], 0)
+            yield sim.timeout(10)
+            rob.complete(cids[0], 0)      # head last
+
+        sim.process(popper())
+        sim.process(completer())
+        sim.run()
+        # nothing retires until the head completes at t=30; then all burst
+        assert [cid for _t, cid in popped] == cids
+        assert [t for t, _ in popped] == [30, 30, 30]
+
+    def test_head_completion_unblocks_issue(self, sim):
+        rob = ReorderBuffer(sim, 2)
+        c0 = rob.try_allocate(entry())
+        c1 = rob.try_allocate(entry())
+        rob.complete(c1, 0)  # non-head done: still no slot
+        assert rob.try_allocate(entry()) is None
+        rob.complete(c0, 0)
+
+        def body():
+            yield from rob.pop_next()
+
+        sim.run_process(body())
+        assert rob.try_allocate(entry()) is not None
+
+    def test_status_propagates(self, sim):
+        rob = ReorderBuffer(sim, 2)
+        cid = rob.try_allocate(entry())
+        rob.complete(cid, 0x80)
+
+        def body():
+            e = yield from rob.pop_next()
+            return e
+
+        e = sim.run_process(body())
+        assert e.status == 0x80 and not e.ok
+
+
+class TestCompletionErrors:
+    def test_unknown_cid_rejected(self, sim):
+        rob = ReorderBuffer(sim, 4)
+        with pytest.raises(StreamerError):
+            rob.complete(99, 0)
+
+    def test_duplicate_completion_rejected(self, sim):
+        rob = ReorderBuffer(sim, 4)
+        cid = rob.try_allocate(entry())
+        rob.complete(cid, 0)
+        with pytest.raises(StreamerError):
+            rob.complete(cid, 0)
+
+    def test_stale_cid_rejected(self, sim):
+        """A cid from a previous window epoch must not match."""
+        rob = ReorderBuffer(sim, 2)
+        c0 = rob.try_allocate(entry())
+        rob.complete(c0, 0)
+
+        def body():
+            yield from rob.pop_next()
+
+        sim.run_process(body())
+        rob.try_allocate(entry())  # reuses slot 0 with a new cid
+        with pytest.raises(StreamerError):
+            rob.complete(c0, 0)  # old cid: slot holds a different command
+
+
+class TestOutOfOrder:
+    def test_ooo_retires_completed_past_blocked_head(self, sim):
+        rob = ReorderBuffer(sim, 4, out_of_order=True)
+        cids = [rob.try_allocate(entry()) for _ in range(3)]
+        rob.complete(cids[1], 0)
+
+        def body():
+            e = yield from rob.pop_next()
+            return e
+
+        e = sim.run_process(body())
+        assert e.cid == cids[1]
+        # the freed slot becomes available once the window wraps to it
+        assert rob.in_flight == 2
+
+    def test_ooo_prefers_head_when_done(self, sim):
+        rob = ReorderBuffer(sim, 4, out_of_order=True)
+        cids = [rob.try_allocate(entry()) for _ in range(2)]
+        rob.complete(cids[0], 0)
+        rob.complete(cids[1], 0)
+
+        def body():
+            first = yield from rob.pop_next()
+            second = yield from rob.pop_next()
+            return first, second
+
+        first, second = sim.run_process(body())
+        assert (first.cid, second.cid) == (cids[0], cids[1])
+
+
+class TestPropertyBased:
+    @given(st.integers(min_value=1, max_value=5),
+           st.lists(st.integers(min_value=0, max_value=10 ** 6),
+                    min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_retirement_order_equals_issue_order(self, depth_log, delays):
+        """Whatever the completion delays, in-order mode retires in issue order."""
+        depth = 1 << depth_log
+        sim = Simulator()
+        rob = ReorderBuffer(sim, depth)
+        issued = []
+        popped = []
+
+        def driver():
+            for d in delays:
+                e = entry()
+                cid = yield from rob.allocate(e)
+                issued.append(cid)
+                sim.process(completer(cid, d))
+
+        def completer(cid, delay):
+            yield sim.timeout(delay)
+            rob.complete(cid, 0)
+
+        def popper():
+            for _ in delays:
+                e = yield from rob.pop_next()
+                popped.append(e.cid)
+
+        sim.process(driver())
+        sim.process(popper())
+        sim.run()
+        assert popped == issued

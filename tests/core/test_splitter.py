@@ -1,0 +1,63 @@
+"""Command splitting at 1 MiB device-address boundaries (§4.2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import split_command
+from repro.errors import StreamerError
+from repro.units import KiB, MiB
+
+
+class TestSplitCommand:
+    def test_small_command_unsplit(self):
+        segs = split_command(0, 4 * KiB, 1 * MiB)
+        assert len(segs) == 1
+        assert segs[0].device_addr == 0 and segs[0].nbytes == 4 * KiB
+        assert segs[0].last
+
+    def test_exact_boundary_sizes(self):
+        segs = split_command(0, 3 * MiB, 1 * MiB)
+        assert [s.nbytes for s in segs] == [1 * MiB] * 3
+        assert [s.device_addr for s in segs] == [0, 1 * MiB, 2 * MiB]
+        assert [s.last for s in segs] == [False, False, True]
+
+    def test_unaligned_start_gets_short_head(self):
+        # start 768 KiB into a segment: head piece is 256 KiB
+        segs = split_command(768 * KiB, 1 * MiB, 1 * MiB)
+        assert [s.nbytes for s in segs] == [256 * KiB, 768 * KiB]
+        assert segs[0].device_addr == 768 * KiB
+        assert segs[1].device_addr == 1 * MiB
+
+    def test_short_tail(self):
+        segs = split_command(0, 1 * MiB + 4 * KiB, 1 * MiB)
+        assert [s.nbytes for s in segs] == [1 * MiB, 4 * KiB]
+
+    def test_invalid(self):
+        with pytest.raises(StreamerError):
+            split_command(0, 0, 1 * MiB)
+        with pytest.raises(StreamerError):
+            split_command(-1, 10, 1 * MiB)
+        with pytest.raises(StreamerError):
+            split_command(0, 10, 0)
+
+    @given(st.integers(min_value=0, max_value=1 << 40),
+           st.integers(min_value=1, max_value=16 * MiB),
+           st.sampled_from([64 * KiB, 1 * MiB, 2 * MiB]))
+    def test_property_cover_exactly(self, addr, nbytes, max_cmd):
+        """Segments tile the transfer exactly, in order, within limits."""
+        segs = split_command(addr, nbytes, max_cmd)
+        assert sum(s.nbytes for s in segs) == nbytes
+        assert segs[0].device_addr == addr
+        assert segs[-1].last and not any(s.last for s in segs[:-1])
+        pos = addr
+        for s in segs:
+            assert s.device_addr == pos
+            assert 0 < s.nbytes <= max_cmd
+            pos += s.nbytes
+        # every segment except the first starts on a boundary
+        for s in segs[1:]:
+            assert s.device_addr % max_cmd == 0
+        # every segment except the last ends on a boundary
+        for s in segs[:-1]:
+            assert (s.device_addr + s.nbytes) % max_cmd == 0

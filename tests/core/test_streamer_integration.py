@@ -1,0 +1,275 @@
+"""End-to-end SNAcc streamer tests: data integrity, protocol behaviour,
+backpressure, errors — across all three variants."""
+
+import numpy as np
+import pytest
+
+from repro.core import StreamerVariant, build_snacc_system
+from repro.errors import StreamerError
+from repro.sim import Simulator
+from repro.systems import HostSystemConfig
+from repro.units import KiB, MiB
+
+ALL_VARIANTS = list(StreamerVariant)
+
+
+def make_system(variant, **host_kw):
+    sim = Simulator()
+    sys_ = build_snacc_system(sim, variant, HostSystemConfig(**host_kw))
+    sys_.initialize()
+    return sim, sys_
+
+
+class TestDataIntegrity:
+    @pytest.mark.parametrize("variant", ALL_VARIANTS, ids=lambda v: v.value)
+    def test_single_4k_roundtrip(self, variant, rng):
+        sim, sys_ = make_system(variant)
+        data = rng.integers(0, 256, 4 * KiB, dtype=np.uint8)
+
+        def body():
+            yield from sys_.user.write(0x4000, data)
+            got = yield from sys_.user.read(0x4000, 4 * KiB)
+            return got
+
+        assert np.array_equal(sim.run_process(body()), data)
+
+    @pytest.mark.parametrize("variant", ALL_VARIANTS, ids=lambda v: v.value)
+    def test_multi_segment_roundtrip(self, variant, rng):
+        """2.5 MiB transfer: three NVMe commands, split at 1 MiB boundaries."""
+        sim, sys_ = make_system(variant)
+        n = 2 * MiB + 512 * KiB
+        data = rng.integers(0, 256, n, dtype=np.uint8)
+
+        def body():
+            yield from sys_.user.write(5 * MiB, data)
+            got = yield from sys_.user.read(5 * MiB, n)
+            return got
+
+        got = sim.run_process(body())
+        assert np.array_equal(got, data)
+        # write split into 3 + read split into 3
+        assert sys_.streamer.stats.nvme_commands == 6
+
+    def test_unaligned_start_splits_at_device_boundary(self, rng):
+        sim, sys_ = make_system(StreamerVariant.URAM)
+        data = rng.integers(0, 256, 1 * MiB, dtype=np.uint8)
+        addr = 1 * MiB - 256 * KiB  # head piece of 256 KiB, then 768 KiB
+
+        def body():
+            yield from sys_.user.write(addr, data)
+            got = yield from sys_.user.read(addr, 1 * MiB)
+            return got
+
+        assert np.array_equal(sim.run_process(body()), data)
+        assert sys_.streamer.stats.nvme_commands == 4  # 2 writes + 2 reads
+
+    def test_data_lands_on_namespace_at_right_lba(self, rng):
+        sim, sys_ = make_system(StreamerVariant.URAM)
+        data = rng.integers(0, 256, 8 * KiB, dtype=np.uint8)
+
+        def body():
+            yield from sys_.user.write(64 * KiB, data)
+
+        sim.run_process(body())
+        ns = sys_.host.ssd.namespace
+        assert np.array_equal(ns.read_blocks(64 * KiB // 512, 16), data)
+
+    def test_interleaved_reads_and_writes(self, rng):
+        """Concurrent user reads and writes to disjoint regions stay correct."""
+        sim, sys_ = make_system(StreamerVariant.URAM)
+        ns = sys_.host.ssd.namespace
+        pre = rng.integers(0, 256, 256 * KiB, dtype=np.uint8)
+        ns.write_blocks(0, pre)  # pre-populate region A
+        wdata = rng.integers(0, 256, 256 * KiB, dtype=np.uint8)
+        results = {}
+
+        def reader():
+            got = yield from sys_.user.read(0, 256 * KiB)
+            results["read"] = got
+
+        def writer():
+            yield from sys_.user.write(4 * MiB, wdata)
+
+        def body():
+            jobs = [sim.process(reader()), sim.process(writer())]
+            yield sim.all_of(jobs)
+
+        sim.run_process(body())
+        assert np.array_equal(results["read"], pre)
+        assert np.array_equal(ns.read_blocks(4 * MiB // 512, 512), wdata)
+
+    def test_sequential_user_commands_in_order(self, rng):
+        """Back-to-back writes then reads return data in command order."""
+        sim, sys_ = make_system(StreamerVariant.URAM)
+        blobs = [rng.integers(0, 256, 16 * KiB, dtype=np.uint8)
+                 for _ in range(8)]
+
+        def body():
+            for i, b in enumerate(blobs):
+                yield from sys_.user.issue_write(i * 64 * KiB, b)
+            for _ in blobs:
+                yield from sys_.user.collect_write_response()
+            out = []
+            for i in range(8):
+                yield from sys_.user.issue_read(i * 64 * KiB, 16 * KiB)
+            for _ in range(8):
+                out.append((yield from sys_.user.collect_read()))
+            return out
+
+        out = sim.run_process(body())
+        for got, want in zip(out, blobs):
+            assert np.array_equal(got, want)
+
+
+class TestProtocolMechanics:
+    def test_controller_reads_prps_on_the_fly(self):
+        """1 MiB commands force PRP list reads served by synthesis."""
+        sim, sys_ = make_system(StreamerVariant.URAM, functional=False)
+
+        def body():
+            yield from sys_.user.write(0, nbytes=1 * MiB)
+
+        sim.run_process(body())
+        assert sys_.host.ssd.controller.stats.prp_list_reads == 1
+
+    def test_no_prp_list_for_small_commands(self):
+        sim, sys_ = make_system(StreamerVariant.URAM, functional=False)
+
+        def body():
+            yield from sys_.user.write(0, nbytes=8 * KiB)  # 2 pages: direct
+
+        sim.run_process(body())
+        assert sys_.host.ssd.controller.stats.prp_list_reads == 0
+
+    @pytest.mark.parametrize("variant", ALL_VARIANTS, ids=lambda v: v.value)
+    def test_no_host_cpu_on_datapath(self, variant):
+        """After init the CPU does nothing (paper's headline claim, §6.3)."""
+        sim, sys_ = make_system(variant, functional=False)
+        sys_.host.cpu.reset_accounting()
+
+        def body():
+            yield from sys_.user.write(0, nbytes=4 * MiB)
+            yield from sys_.user.read(0, 4 * MiB, functional=False)
+
+        sim.run_process(body())
+        assert sys_.host.cpu.busy_ns() == 0
+
+    def test_p2p_traffic_only_for_uram(self):
+        """URAM variant: payload crosses fpga+ssd links, never host memory."""
+        sim, sys_ = make_system(StreamerVariant.URAM, functional=False)
+        sys_.host.fabric.traffic.reset()
+
+        def body():
+            yield from sys_.user.write(0, nbytes=1 * MiB)
+
+        sim.run_process(body())
+        traffic = sys_.host.fabric.traffic
+        assert traffic.bytes_on("host") < 64 * KiB  # admin-ish only
+        assert traffic.bytes_on("fpga") >= 1 * MiB
+        assert traffic.bytes_on("ssd") >= 1 * MiB
+
+    def test_host_variant_payload_via_host_memory(self):
+        sim, sys_ = make_system(StreamerVariant.HOST_DRAM, functional=False)
+        sys_.host.fabric.traffic.reset()
+
+        def body():
+            yield from sys_.user.write(0, nbytes=1 * MiB)
+
+        sim.run_process(body())
+        traffic = sys_.host.fabric.traffic
+        # fill crosses fpga link + host memory; controller fetch crosses ssd
+        # link + host memory again
+        assert traffic.bytes_on("host") >= 2 * MiB
+
+    def test_second_bar_only_for_onboard(self):
+        for variant, expected in ((StreamerVariant.URAM, False),
+                                  (StreamerVariant.ONBOARD_DRAM, True),
+                                  (StreamerVariant.HOST_DRAM, False)):
+            _sim, sys_ = make_system(variant, functional=False)
+            assert sys_.platform.uses_second_bar is expected
+
+    def test_doorbell_written_by_fpga_not_host(self):
+        sim, sys_ = make_system(StreamerVariant.URAM, functional=False)
+        before = sys_.host.ssd.endpoint.link.wire_bytes["down"]
+
+        def body():
+            yield from sys_.user.write(0, nbytes=4 * KiB)
+
+        sim.run_process(body())
+        # the doorbell + SQE fetch requests arrived over the SSD's link
+        assert sys_.host.ssd.endpoint.link.wire_bytes["down"] > before
+
+
+class TestErrors:
+    def test_unaligned_write_address_rejected(self):
+        sim, sys_ = make_system(StreamerVariant.URAM)
+
+        def body():
+            yield from sys_.user.write(100, nbytes=4 * KiB)
+
+        with pytest.raises(StreamerError):
+            sim.run_process(body())
+
+    def test_out_of_range_read_returns_error_status(self):
+        sim, sys_ = make_system(StreamerVariant.URAM)
+        cap = sys_.host.ssd.namespace.capacity_bytes
+
+        def body():
+            yield from sys_.user.read(cap, 4 * KiB, functional=False)
+
+        with pytest.raises(StreamerError):
+            sim.run_process(body())
+        assert sys_.streamer.stats.errors == 1
+
+    def test_out_of_range_write_error_token(self):
+        sim, sys_ = make_system(StreamerVariant.URAM)
+        cap = sys_.host.ssd.namespace.capacity_bytes
+
+        def body():
+            yield from sys_.user.write(cap, nbytes=4 * KiB)
+
+        with pytest.raises(StreamerError):
+            sim.run_process(body())
+
+
+class TestBackpressure:
+    def test_buffer_fills_limit_issue(self):
+        """Commands outstanding never exceed what the buffer can hold."""
+        sim, sys_ = make_system(StreamerVariant.URAM, functional=False)
+        max_live = 0
+        alloc = sys_.streamer._read_alloc
+        orig = alloc.try_allocate
+
+        def spy(n):
+            nonlocal max_live
+            r = orig(n)
+            max_live = max(max_live, alloc.used)
+            return r
+
+        alloc.try_allocate = spy
+
+        def body():
+            yield from sys_.user.read(0, 16 * MiB, functional=False)
+
+        sim.run_process(body())
+        assert max_live <= 4 * MiB  # URAM buffer capacity
+
+    def test_rob_window_limits_inflight(self):
+        sim, sys_ = make_system(StreamerVariant.HOST_DRAM, functional=False)
+        rob = sys_.streamer.rob
+        peak = 0
+        orig = rob.try_allocate
+
+        def spy(e):
+            nonlocal peak
+            r = orig(e)
+            peak = max(peak, rob.in_flight)
+            return r
+
+        rob.try_allocate = spy
+
+        def body():
+            yield from sys_.user.read(0, 96 * MiB, functional=False)
+
+        sim.run_process(body())
+        assert peak <= 64

@@ -1,0 +1,121 @@
+"""FPGA platform: BAR windows, PE lifecycle; Table-1 area model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fpga import (ALVEO_U280, FpgaPlatform, FpgaPlatformConfig,
+                        ProcessingElement, ResourceReport, StreamerAreaModel)
+from repro.pcie import BarHandler, PcieFabric
+from repro.units import KiB, MiB
+
+
+class _NullHandler(BarHandler):
+    def bar_read(self, offset, nbytes, functional=True):
+        return None
+        yield  # pragma: no cover
+
+    def bar_write(self, offset, data=None, nbytes=None):
+        return
+        yield  # pragma: no cover
+
+
+@pytest.fixture
+def platform(sim):
+    fabric = PcieFabric(sim)
+    return FpgaPlatform(sim, fabric)
+
+
+class TestBarWindows:
+    def test_windows_allocated_in_order(self, sim, platform):
+        a = platform.alloc_bar_window(4 * KiB, _NullHandler(), "a")
+        b = platform.alloc_bar_window(4 * KiB, _NullHandler(), "b")
+        assert b == a + 4 * KiB
+        assert platform.window_addr("a") == a
+
+    def test_alignment_respected(self, sim, platform):
+        platform.alloc_bar_window(4 * KiB, _NullHandler(), "small")
+        big = platform.alloc_bar_window(8 * MiB, _NullHandler(), "big",
+                                        align=8 * MiB)
+        assert (big - platform.config.bar_base) % (8 * MiB) == 0
+
+    def test_primary_bar_exhaustion(self, sim, platform):
+        platform.alloc_bar_window(60 * MiB, _NullHandler(), "big")
+        with pytest.raises(ConfigError):
+            platform.alloc_bar_window(8 * MiB, _NullHandler(), "too-much")
+
+    def test_second_bar(self, sim, platform):
+        assert not platform.uses_second_bar
+        platform.alloc_bar2_window(128 * MiB, _NullHandler(), "dram")
+        assert platform.uses_second_bar
+
+    def test_unknown_window_rejected(self, platform):
+        with pytest.raises(ConfigError):
+            platform.window_addr("nope")
+
+
+class TestProcessingElement:
+    def test_ports_and_start(self, sim, platform):
+        ran = []
+
+        class Pe(ProcessingElement):
+            def behavior(self):
+                yield self.sim.timeout(5)
+                ran.append(self.sim.now)
+
+        pe = Pe(sim, "pe0")
+        pe.add_port("in", platform.new_stream("s"))
+        platform.add_pe(pe)
+        platform.start_all()
+        platform.start_all()  # idempotent
+        sim.run()
+        assert ran == [5]
+        assert not pe.is_running
+
+    def test_duplicate_port_rejected(self, sim):
+        class Pe(ProcessingElement):
+            def behavior(self):
+                yield self.sim.timeout(1)
+
+        pe = Pe(sim, "pe")
+        st = None
+        from repro.fpga import AxiStream
+        st = AxiStream(sim)
+        pe.add_port("x", st)
+        with pytest.raises(ConfigError):
+            pe.add_port("x", st)
+        with pytest.raises(ConfigError):
+            pe.port("missing")
+
+
+class TestAreaModel:
+    def test_table1_exact(self):
+        expected = {
+            "uram": (7260, 8388, 0.0),
+            "onboard_dram": (14063, 16487, 24.0),
+            "host_dram": (12228, 13373, 17.5),
+        }
+        for variant, (lut, ff, bram) in expected.items():
+            r = StreamerAreaModel.for_variant(variant)
+            assert (r.lut, r.ff, r.bram36) == (lut, ff, bram)
+
+    def test_percentages_match_paper(self):
+        r = StreamerAreaModel.uram_variant()
+        pct = r.percentages(ALVEO_U280)
+        assert pct["LUT"] == pytest.approx(0.6, abs=0.05)
+        assert pct["URAM"] == pytest.approx(13.3, abs=0.1)
+
+    def test_area_scales_with_rob_depth(self):
+        small = StreamerAreaModel.uram_variant(rob_depth=16)
+        big = StreamerAreaModel.uram_variant(rob_depth=256)
+        assert big.lut > small.lut
+        assert big.ff > small.ff
+
+    def test_report_addition(self):
+        a = ResourceReport(lut=10, ff=20, bram36=1.5)
+        b = ResourceReport(lut=1, ff=2, uram_bytes=4 * MiB)
+        c = a + b
+        assert (c.lut, c.ff, c.bram36, c.uram_bytes) == (11, 22, 1.5, 4 * MiB)
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            StreamerAreaModel.for_variant("hbm")

@@ -1,0 +1,56 @@
+"""Address map: window management, decode, overlap rejection."""
+
+import pytest
+
+from repro.errors import AddressError
+from repro.mem import AddressMap
+
+
+class TestAddressMap:
+    def test_decode_hits_correct_window(self):
+        m = AddressMap("bus")
+        m.add(0x0000, 0x1000, "a", name="A")
+        m.add(0x2000, 0x1000, "b", name="B")
+        w, off = m.decode(0x2010)
+        assert w.target == "b" and off == 0x10
+
+    def test_decode_many_windows(self):
+        m = AddressMap()
+        for i in range(64):
+            m.add(i * 0x10000, 0x8000, i)
+        for i in (0, 13, 63):
+            w, off = m.decode(i * 0x10000 + 0x7FFF)
+            assert w.target == i and off == 0x7FFF
+
+    def test_unmapped_raises(self):
+        m = AddressMap()
+        m.add(0x1000, 0x1000, "x")
+        with pytest.raises(AddressError):
+            m.decode(0x0FFF)
+        with pytest.raises(AddressError):
+            m.decode(0x2000)
+
+    def test_overlap_rejected(self):
+        m = AddressMap()
+        m.add(0x1000, 0x1000, "x")
+        with pytest.raises(AddressError):
+            m.add(0x1800, 0x1000, "y")
+
+    def test_adjacent_windows_allowed(self):
+        m = AddressMap()
+        m.add(0x1000, 0x1000, "x")
+        m.add(0x2000, 0x1000, "y")
+        assert len(m) == 2
+
+    def test_straddling_access_rejected(self):
+        m = AddressMap()
+        m.add(0x1000, 0x1000, "x")
+        m.add(0x2000, 0x1000, "y")
+        with pytest.raises(AddressError):
+            m.decode(0x1FF0, nbytes=0x20)
+
+    def test_span_within_window_ok(self):
+        m = AddressMap()
+        m.add(0x1000, 0x1000, "x")
+        w, off = m.decode(0x1F00, nbytes=0x100)
+        assert off == 0xF00

@@ -1,0 +1,240 @@
+"""Timed memories: URAM, DRAM turnaround, host DRAM, pinned allocator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AllocationError, MemoryError_
+from repro.mem import (ChunkedBuffer, DramController, DramTiming, HostDram,
+                       PinnedAllocator, SramMemory, UramBuffer)
+from repro.mem.base import AddressRange
+from repro.units import KiB, MiB, ns_for_bytes
+
+
+class TestSram:
+    def test_timed_roundtrip(self, sim, rng):
+        m = SramMemory(sim, 64 * KiB, name="u")
+        data = rng.integers(0, 256, 4096, dtype=np.uint8)
+
+        def body():
+            yield from m.timed_write(0, data)
+            got = yield from m.timed_read(0, 4096)
+            return got
+
+        got = sim.run_process(body())
+        assert np.array_equal(got, data)
+        assert sim.now > 0
+
+    def test_dual_port_no_rw_contention(self, sim):
+        """A read and a write issued together finish as if alone."""
+        m = SramMemory(sim, 64 * KiB, bandwidth_gbps=1.0, pipeline_latency_ns=0)
+        times = {}
+
+        def reader():
+            yield from m.timed_read(0, 1000, functional=False)
+            times["r"] = sim.now
+
+        def writer():
+            yield from m.timed_write(0, nbytes=1000)
+            times["w"] = sim.now
+
+        sim.process(reader())
+        sim.process(writer())
+        sim.run()
+        solo = ns_for_bytes(1000, 1.0)
+        assert times["r"] == solo
+        assert times["w"] == solo
+
+    def test_same_port_serializes(self, sim):
+        m = SramMemory(sim, 64 * KiB, bandwidth_gbps=1.0, pipeline_latency_ns=0)
+        finish = []
+
+        def reader():
+            yield from m.timed_read(0, 1000, functional=False)
+            finish.append(sim.now)
+
+        sim.process(reader())
+        sim.process(reader())
+        sim.run()
+        assert finish == [1000, 2000]
+
+    def test_stats_accumulate(self, sim):
+        m = SramMemory(sim, 64 * KiB)
+
+        def body():
+            yield from m.timed_write(0, nbytes=100)
+            yield from m.timed_read(0, 50, functional=False)
+
+        sim.run_process(body())
+        assert m.stats.writes == 1 and m.stats.written_bytes == 100
+        assert m.stats.reads == 1 and m.stats.read_bytes == 50
+        assert m.stats.total_bytes == 150
+
+    def test_oob_timed_access_rejected(self, sim):
+        m = SramMemory(sim, 1024)
+
+        def body():
+            yield from m.timed_read(1000, 100)
+
+        with pytest.raises(MemoryError_):
+            # error surfaces synchronously at generator start
+            sim.run_process(body())
+
+    def test_uram_block_count(self, sim):
+        u = UramBuffer(sim)  # 4 MiB
+        assert u.uram_blocks == 4 * MiB // UramBuffer.URAM_BLOCK_BYTES
+
+
+class TestDram:
+    def test_turnaround_costs_time(self, sim):
+        t = DramTiming(peak_gbps=16.0, access_overhead_ns=10, turnaround_ns=100)
+        m = DramController(sim, 1 * MiB, timing=t)
+
+        def same_direction():
+            yield from m.timed_read(0, 4096, functional=False)
+            yield from m.timed_read(0, 4096, functional=False)
+
+        sim.run_process(same_direction())
+        t_same = sim.now
+
+        sim2 = type(sim)()
+        m2 = DramController(sim2, 1 * MiB, timing=t)
+
+        def alternating():
+            yield from m2.timed_read(0, 4096, functional=False)
+            yield from m2.timed_write(0, nbytes=4096)
+
+        sim2.run_process(alternating())
+        assert sim2.now == t_same + 100
+        assert m2.stats.turnarounds == 1
+
+    def test_fifo_service(self, sim):
+        m = DramController(sim, 1 * MiB)
+        order = []
+
+        def access(i):
+            yield from m.timed_read(0, 4096, functional=False)
+            order.append(i)
+
+        for i in range(4):
+            sim.process(access(i))
+        sim.run()
+        assert order == [0, 1, 2, 3]
+
+    def test_streaming_gbps_interleaved_slower(self, sim):
+        m = DramController(sim, 1 * MiB)
+        solo = m.streaming_gbps("write", 4 * KiB, interleaved=False)
+        mixed = m.streaming_gbps("write", 4 * KiB, interleaved=True)
+        assert mixed < solo
+
+    def test_min_burst_padding(self, sim):
+        t = DramTiming(peak_gbps=16.0, access_overhead_ns=0,
+                       turnaround_ns=0, min_burst_bytes=64)
+        m = DramController(sim, 1 * MiB, timing=t)
+
+        def body():
+            yield from m.timed_read(0, 1, functional=False)
+
+        sim.run_process(body())
+        assert sim.now == ns_for_bytes(64, 16.0)
+
+    def test_functional_roundtrip(self, sim, rng):
+        m = DramController(sim, 1 * MiB)
+        data = rng.integers(0, 256, 8192, dtype=np.uint8)
+
+        def body():
+            yield from m.timed_write(100, data)
+            got = yield from m.timed_read(100, 8192)
+            return got
+
+        assert np.array_equal(sim.run_process(body()), data)
+
+
+class TestHostDram:
+    def test_parallel_ports(self, sim):
+        m = HostDram(sim, 1 * MiB, bandwidth_gbps=1.0, latency_ns=0)
+        finish = []
+
+        def reader():
+            yield from m.timed_read(0, 1000, functional=False)
+            finish.append(sim.now)
+
+        sim.process(reader())
+        sim.process(reader())
+        sim.run()
+        # capacity-2 read port: both proceed concurrently
+        assert finish == [1000, 1000]
+
+
+class TestPinnedAllocator:
+    def region(self, size=256 * MiB):
+        return AddressRange(0x1_0000_0000, size)
+
+    def test_small_allocation_contiguous(self):
+        a = PinnedAllocator(self.region())
+        buf = a.allocate(1 * MiB)
+        assert buf.is_contiguous
+        assert buf.size == 1 * MiB
+
+    def test_large_allocation_chunked(self):
+        a = PinnedAllocator(self.region())
+        buf = a.allocate(64 * MiB)
+        assert len(buf.chunks) == 16  # 64 MiB in 4 MiB chunks
+        assert all(c.size == 4 * MiB for c in buf.chunks)
+        assert not buf.is_contiguous
+
+    def test_chunks_not_adjacent(self):
+        a = PinnedAllocator(self.region())
+        buf = a.allocate(8 * MiB)
+        assert buf.chunks[0].end != buf.chunks[1].base
+
+    def test_exhaustion_raises(self):
+        a = PinnedAllocator(self.region(8 * MiB))
+        with pytest.raises(AllocationError):
+            a.allocate(16 * MiB)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(AllocationError):
+            PinnedAllocator(self.region()).allocate(0)
+
+
+class TestChunkedBuffer:
+    def make(self):
+        # 3 disjoint 4 KiB chunks
+        return ChunkedBuffer([
+            AddressRange(0x10000, 4096),
+            AddressRange(0x30000, 4096),
+            AddressRange(0x50000, 4096),
+        ])
+
+    def test_translate(self):
+        b = self.make()
+        assert b.translate(0) == 0x10000
+        assert b.translate(4095) == 0x10FFF
+        assert b.translate(4096) == 0x30000
+        assert b.translate(8192 + 5) == 0x50005
+
+    def test_translate_oob(self):
+        with pytest.raises(MemoryError_):
+            self.make().translate(3 * 4096)
+
+    def test_spans_within_chunk(self):
+        b = self.make()
+        spans = b.spans(100, 200)
+        assert spans == [AddressRange(0x10064, 200)]
+
+    def test_spans_across_chunks(self):
+        b = self.make()
+        spans = b.spans(4000, 200)
+        assert spans == [AddressRange(0x10FA0, 96), AddressRange(0x30000, 104)]
+        assert sum(s.size for s in spans) == 200
+
+    def test_spans_entire_buffer(self):
+        b = self.make()
+        spans = b.spans(0, 3 * 4096)
+        assert len(spans) == 3
+        assert sum(s.size for s in spans) == 3 * 4096
+
+    def test_uneven_last_chunk(self):
+        b = ChunkedBuffer([AddressRange(0, 4096), AddressRange(8192, 1024)])
+        assert b.size == 5120
+        assert b.translate(4096 + 100) == 8192 + 100

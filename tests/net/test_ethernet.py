@@ -1,0 +1,253 @@
+"""Ethernet: frames, MAC flow control, switch pause propagation, sources."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, EthernetError
+from repro.net import (EthernetFrame, EthernetMac, EthernetSwitch,
+                       FrameStreamSource, pause_frame)
+from repro.sim import Simulator
+from repro.units import KiB, MiB, ns_for_bytes
+
+
+def linked_pair(sim, **kw):
+    a = EthernetMac(sim, name="a", **kw)
+    b = EthernetMac(sim, name="b", **kw)
+    a.connect(b)
+    return a, b
+
+
+class TestFrame:
+    def test_wire_overhead(self):
+        f = EthernetFrame(payload_bytes=8192)
+        assert f.wire_bytes == 8192 + 38
+
+    def test_min_frame_padding(self):
+        assert EthernetFrame(payload_bytes=1).wire_bytes == 64 + 38
+
+    def test_pause_frame(self):
+        p = pause_frame(0xFFFF)
+        assert p.is_pause and p.pause_quanta == 0xFFFF
+
+    def test_oversize_rejected(self):
+        with pytest.raises(EthernetError):
+            EthernetFrame(payload_bytes=10_000)
+
+    def test_data_length_checked(self):
+        with pytest.raises(EthernetError):
+            EthernetFrame(payload_bytes=10, data=np.zeros(5, dtype=np.uint8))
+
+
+class TestMacBasics:
+    def test_frame_delivery_with_data(self, sim, rng):
+        a, b = linked_pair(sim)
+        payload = rng.integers(0, 256, 1000, dtype=np.uint8)
+        got = []
+
+        def sender():
+            yield from a.send(EthernetFrame(payload_bytes=1000, data=payload))
+
+        def receiver():
+            f = yield from b.recv()
+            got.append(f)
+
+        sim.process(sender())
+        sim.process(receiver())
+        sim.run()
+        assert np.array_equal(got[0].data, payload)
+
+    def test_line_rate_serialization(self, sim):
+        a, b = linked_pair(sim, propagation_ns=0)
+        n_frames = 100
+
+        def sender():
+            for _ in range(n_frames):
+                yield from a.send(EthernetFrame(payload_bytes=8192))
+
+        def receiver():
+            for _ in range(n_frames):
+                yield from b.recv()
+
+        sim.process(sender())
+        done = sim.process(receiver())
+        sim.run()
+        wire = n_frames * (8192 + 38)
+        assert sim.now >= ns_for_bytes(wire, 12.5)
+        assert sim.now <= ns_for_bytes(wire, 12.5) * 1.02
+        assert b.rx_frames == n_frames
+
+    def test_unconnected_send_rejected(self, sim):
+        a = EthernetMac(sim)
+
+        def body():
+            yield from a.send(EthernetFrame(payload_bytes=64))
+
+        with pytest.raises(EthernetError):
+            sim.run_process(body())
+
+    def test_double_connect_rejected(self, sim):
+        a, b = linked_pair(sim)
+        with pytest.raises(EthernetError):
+            a.connect(EthernetMac(sim))
+
+
+class TestFlowControl:
+    def test_no_loss_under_slow_consumer(self, sim):
+        """The headline property: a stalled receiver loses nothing."""
+        a, b = linked_pair(sim, rx_fifo_bytes=64 * KiB)
+        n = 200
+        received = []
+
+        def sender():
+            for i in range(n):
+                yield from a.send(EthernetFrame(payload_bytes=8192,
+                                                meta={"seq": i}))
+
+        def slow_consumer():
+            for _ in range(n):
+                f = yield from b.recv()
+                received.append(f.meta["seq"])
+                yield sim.timeout(3000)  # much slower than line rate
+
+        sim.process(sender())
+        sim.process(slow_consumer())
+        sim.run()
+        assert received == list(range(n))
+        assert b.dropped_frames == 0
+        assert b.pause_frames_sent > 0
+        assert a.tx_pause_ns > 0
+
+    def test_loss_without_flow_control(self, sim):
+        """Ablation A7: same workload, flow control off -> drops."""
+        a, b = linked_pair(sim, rx_fifo_bytes=64 * KiB, flow_control=False)
+        n = 200
+
+        def sender():
+            for i in range(n):
+                yield from a.send(EthernetFrame(payload_bytes=8192))
+
+        def slow_consumer():
+            while True:
+                yield from b.recv()
+                yield sim.timeout(3000)
+
+        sim.process(sender())
+        sim.process(slow_consumer())
+        sim.run(until=10_000_000)
+        assert b.dropped_frames > 0
+
+    def test_started_frame_finishes_before_pause(self, sim):
+        """Pause takes effect only at frame boundaries (store-and-forward)."""
+        a, b = linked_pair(sim)
+        a._on_frame(pause_frame(0xFFFF))  # XOFF arrives
+        assert a.is_paused
+        a._on_frame(pause_frame(0))
+        assert not a.is_paused
+
+    def test_throughput_matches_consumer_rate(self, sim):
+        """Under backpressure the sender converges to the consumer's rate."""
+        a, b = linked_pair(sim, rx_fifo_bytes=64 * KiB)
+        n = 300
+        per_frame_ns = 2000
+
+        def sender():
+            for _ in range(n):
+                yield from a.send(EthernetFrame(payload_bytes=8192))
+
+        def consumer():
+            for _ in range(n):
+                yield from b.recv()
+                yield sim.timeout(per_frame_ns)
+
+        sim.process(sender())
+        done = sim.process(consumer())
+        sim.run()
+        # elapsed ~= n * consumer_period (within buffer slack)
+        assert sim.now >= n * per_frame_ns
+        assert sim.now <= n * per_frame_ns * 1.2
+
+
+class TestSwitch:
+    def test_forwarding(self, sim, rng):
+        src, sw_in = EthernetMac(sim, "src"), None
+        sw = EthernetSwitch(sim)
+        dst = EthernetMac(sim, "dst")
+        src.connect(sw.port_a)
+        sw.port_b.connect(dst)
+        sw.start()
+        payload = rng.integers(0, 256, 500, dtype=np.uint8)
+        got = []
+
+        def sender():
+            yield from src.send(EthernetFrame(payload_bytes=500, data=payload))
+
+        def receiver():
+            f = yield from dst.recv()
+            got.append(f)
+
+        sim.process(sender())
+        sim.process(receiver())
+        sim.run()
+        assert np.array_equal(got[0].data, payload)
+        assert sw.forwarded_frames == 1
+
+    def test_pause_propagates_through_switch(self, sim):
+        """Paper: the switch pauses locally, then pushes pause upstream."""
+        src = EthernetMac(sim, "src")
+        sw = EthernetSwitch(sim, buffer_bytes=64 * KiB)
+        dst = EthernetMac(sim, "dst", rx_fifo_bytes=64 * KiB)
+        src.connect(sw.port_a)
+        sw.port_b.connect(dst)
+        sw.start()
+        n = 300
+        received = []
+
+        def sender():
+            for i in range(n):
+                yield from src.send(EthernetFrame(payload_bytes=8192,
+                                                  meta={"seq": i}))
+
+        def slow_consumer():
+            for _ in range(n):
+                f = yield from dst.recv()
+                received.append(f.meta["seq"])
+                yield sim.timeout(5000)
+
+        sim.process(sender())
+        sim.process(slow_consumer())
+        sim.run()
+        assert received == list(range(n))
+        assert dst.dropped_frames == 0
+        assert sw.port_a.dropped_frames == 0
+        # the end receiver paused the switch AND the switch paused the source
+        assert dst.pause_frames_sent > 0
+        assert sw.port_a.pause_frames_sent > 0
+        assert src.tx_pause_ns > 0
+
+
+class TestFrameStreamSource:
+    def test_streams_all_bytes_with_content(self, sim):
+        a, b = linked_pair(sim)
+        blob = np.arange(100_000, dtype=np.uint64).view(np.uint8)
+        src = FrameStreamSource(sim, a, total_bytes=len(blob),
+                                payload_fn=lambda off, n: blob[off:off + n])
+        out = []
+
+        def receiver():
+            got = 0
+            while got < len(blob):
+                f = yield from b.recv()
+                out.append(f.data)
+                got += f.payload_bytes
+
+        src.start()
+        sim.process(receiver())
+        sim.run()
+        assert np.array_equal(np.concatenate(out), blob)
+
+    def test_invalid_params(self, sim):
+        a, _ = linked_pair(sim)
+        with pytest.raises(ConfigError):
+            FrameStreamSource(sim, a, total_bytes=0)
+        with pytest.raises(ConfigError):
+            FrameStreamSource(sim, a, total_bytes=10, frame_payload=0)

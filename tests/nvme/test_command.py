@@ -1,0 +1,79 @@
+"""SQE/CQE wire encodings round-trip exactly."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidCommandError
+from repro.nvme import CompletionEntry, IoOpcode, SubmissionEntry, StatusCode
+
+
+class TestSubmissionEntry:
+    def test_pack_size(self):
+        sqe = SubmissionEntry(opcode=IoOpcode.READ, cid=1)
+        assert len(sqe.pack()) == 64
+
+    def test_roundtrip(self):
+        sqe = SubmissionEntry(opcode=IoOpcode.WRITE, cid=0x1234, nsid=1,
+                              prp1=0x1000, prp2=0x2000)
+        sqe.slba = 0x1_2345_6789
+        sqe.nlb = 2048
+        back = SubmissionEntry.unpack(sqe.pack())
+        assert back.opcode == IoOpcode.WRITE
+        assert back.cid == 0x1234
+        assert back.prp1 == 0x1000 and back.prp2 == 0x2000
+        assert back.slba == 0x1_2345_6789
+        assert back.nlb == 2048
+
+    def test_nlb_bounds(self):
+        sqe = SubmissionEntry(opcode=0, cid=0)
+        with pytest.raises(InvalidCommandError):
+            sqe.nlb = 0
+        with pytest.raises(InvalidCommandError):
+            sqe.nlb = 0x10001
+        sqe.nlb = 0x10000  # max encodable
+        assert sqe.nlb == 0x10000
+
+    def test_bad_cid_rejected(self):
+        with pytest.raises(InvalidCommandError):
+            SubmissionEntry(opcode=0, cid=0x10000).pack()
+
+    def test_unpack_wrong_size(self):
+        with pytest.raises(InvalidCommandError):
+            SubmissionEntry.unpack(b"\x00" * 32)
+
+    @given(st.integers(0, 0xFF), st.integers(0, 0xFFFF),
+           st.integers(0, (1 << 48) - 1), st.integers(1, 0x10000))
+    def test_property_roundtrip(self, opcode, cid, slba, nlb):
+        sqe = SubmissionEntry(opcode=opcode, cid=cid,
+                              prp1=0x7000_0000, prp2=0x8000_0000)
+        sqe.slba = slba
+        sqe.nlb = nlb
+        back = SubmissionEntry.unpack(sqe.pack())
+        assert (back.opcode, back.cid, back.slba, back.nlb) == \
+            (opcode, cid, slba, nlb)
+
+
+class TestCompletionEntry:
+    def test_pack_size(self):
+        assert len(CompletionEntry(cid=1).pack()) == 16
+
+    def test_roundtrip(self):
+        cqe = CompletionEntry(cid=7, status=StatusCode.LBA_OUT_OF_RANGE,
+                              sq_head=33, sq_id=2, phase=0, result=0xABCD)
+        back = CompletionEntry.unpack(cqe.pack())
+        assert back.cid == 7
+        assert back.status == StatusCode.LBA_OUT_OF_RANGE
+        assert back.sq_head == 33 and back.sq_id == 2
+        assert back.phase == 0 and back.result == 0xABCD
+        assert not back.ok
+
+    def test_ok(self):
+        assert CompletionEntry(cid=0).ok
+
+    @given(st.integers(0, 0xFFFF), st.integers(0, 0x7FFF),
+           st.integers(0, 1))
+    def test_property_phase_status(self, cid, status, phase):
+        back = CompletionEntry.unpack(
+            CompletionEntry(cid=cid, status=status, phase=phase).pack())
+        assert (back.cid, back.status, back.phase) == (cid, status, phase)

@@ -1,0 +1,86 @@
+"""Controller error paths and guard rails."""
+
+import pytest
+
+from repro.errors import NVMeError
+from repro.nvme import IoOpcode
+from repro.systems import HostSystemConfig, build_host_system
+from repro.units import MiB
+
+
+@pytest.fixture
+def driver(sim):
+    system = build_host_system(sim, HostSystemConfig(functional=False))
+    drv = system.spdk_driver()
+    sim.run_process(drv.initialize())
+    return drv
+
+
+class TestCommandValidation:
+    def test_oversized_transfer_fails_with_status(self, sim, driver):
+        mdts = driver.device.config.profile.mdts_bytes
+        buf = driver.alloc_buffer(mdts + 1 * MiB)
+
+        def body():
+            yield from driver.io_and_wait(IoOpcode.READ, 0, mdts + 1 * MiB,
+                                          buf)
+
+        with pytest.raises(NVMeError):
+            sim.run_process(body())
+        assert driver.device.controller.stats.errors == 1
+
+    def test_invalid_opcode_completes_with_error(self, sim, driver):
+        buf = driver.alloc_buffer(4096)
+
+        def body():
+            handle = yield from driver.submit(0x55, 0, 4096, buf)
+            yield handle.done
+
+        with pytest.raises(NVMeError):
+            sim.run_process(body())
+
+    def test_enable_without_admin_queues_rejected(self, sim):
+        system = build_host_system(sim, HostSystemConfig(functional=False))
+        with pytest.raises(NVMeError):
+            system.ssd.controller.enable()
+
+    def test_doorbell_out_of_range_rejected(self, sim, driver):
+        from repro.nvme.queues import doorbell_offset
+        fabric = driver.fabric
+        addr = driver.device.config.bar_base + doorbell_offset(1, False)
+
+        def body():
+            yield from fabric.host_mmio_write(
+                addr, data=(9999).to_bytes(4, "little"))
+
+        with pytest.raises(Exception):
+            sim.run_process(body())
+
+    def test_config_region_write_rejected(self, sim, driver):
+        fabric = driver.fabric
+
+        def body():
+            yield from fabric.host_mmio_write(
+                driver.device.config.bar_base + 0x14, data=b"\x01\x00\x00\x00")
+
+        with pytest.raises(NVMeError):
+            sim.run_process(body())
+
+
+class TestBackendCounters:
+    def test_programmed_bytes_track_writes(self, sim, driver):
+        buf = driver.alloc_buffer(1 * MiB)
+
+        def body():
+            yield from driver.write(0, 1 * MiB, buf)
+
+        sim.run_process(body())
+        assert driver.device.backend.programmed_bytes == 1 * MiB
+
+    def test_write_phase_toggles_on_advance(self, sim, driver):
+        backend = driver.device.backend
+        assert backend.write_phase == 0
+        a = backend.current_write_gbps
+        backend.advance_write_phase()
+        assert backend.write_phase == 1
+        assert backend.current_write_gbps < a

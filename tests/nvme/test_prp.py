@@ -1,0 +1,136 @@
+"""PRP list construction / parsing, including chained lists."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidCommandError
+from repro.mem import Memory
+from repro.nvme import (build_prp_list, pages_for_transfer,
+                        parse_prp_list_page, prp_list_pages_needed)
+from repro.nvme.spec import PAGE_SIZE, PRPS_PER_LIST_PAGE
+from repro.units import KiB, MiB
+
+
+class TestPagesForTransfer:
+    def test_basic(self):
+        assert pages_for_transfer(1) == 1
+        assert pages_for_transfer(4096) == 1
+        assert pages_for_transfer(4097) == 2
+        assert pages_for_transfer(1 * MiB) == 256
+
+    def test_zero_rejected(self):
+        with pytest.raises(InvalidCommandError):
+            pages_for_transfer(0)
+
+
+class TestListPagesNeeded:
+    def test_small(self):
+        assert prp_list_pages_needed(1) == 0
+        assert prp_list_pages_needed(2) == 0
+        assert prp_list_pages_needed(3) == 1
+        assert prp_list_pages_needed(513) == 1  # 512 entries fit one page
+
+    def test_chained(self):
+        # 514 data pages -> 513 entries -> 511 + chain + 2 = two pages
+        assert prp_list_pages_needed(514) == 2
+        assert prp_list_pages_needed(1 + 511 + 512) == 2
+        assert prp_list_pages_needed(1 + 511 + 512 + 1) == 3
+
+
+class _ListBuilder:
+    """In-memory list environment shared by construction tests."""
+
+    def __init__(self, n_pages=16):
+        self.mem = Memory(n_pages * PAGE_SIZE)
+        self.next_page = 0
+
+    def alloc(self):
+        addr = self.next_page * PAGE_SIZE
+        self.next_page += 1
+        return addr + 0x100000  # offset so data/list spaces differ
+
+    def write(self, addr, raw):
+        self.mem.write(addr - 0x100000, raw)
+
+    def read_page(self, addr, nbytes):
+        return bytes(self.mem.read(addr - 0x100000, nbytes))
+
+
+class TestBuildPrpList:
+    def page_addrs(self, n, base=0x40000000):
+        return [base + i * PAGE_SIZE for i in range(n)]
+
+    def test_single_page(self):
+        env = _ListBuilder()
+        prp1, prp2 = build_prp_list(self.page_addrs(1), env.alloc, env.write)
+        assert prp1 == 0x40000000 and prp2 == 0
+        assert env.next_page == 0  # no list page allocated
+
+    def test_two_pages_direct(self):
+        env = _ListBuilder()
+        prp1, prp2 = build_prp_list(self.page_addrs(2), env.alloc, env.write)
+        assert prp2 == 0x40000000 + PAGE_SIZE
+        assert env.next_page == 0
+
+    def test_list_for_256_pages(self):
+        env = _ListBuilder()
+        pages = self.page_addrs(256)  # the paper's 1 MiB command
+        prp1, prp2 = build_prp_list(pages, env.alloc, env.write)
+        assert prp1 == pages[0]
+        entries = parse_prp_list_page(env.read_page(prp2, 255 * 8))
+        assert entries == pages[1:]
+
+    def test_chained_list(self):
+        env = _ListBuilder()
+        pages = self.page_addrs(600)
+        prp1, prp2 = build_prp_list(pages, env.alloc, env.write)
+        # first list page: 511 entries + chain
+        first = parse_prp_list_page(env.read_page(prp2, 512 * 8))
+        assert first[:511] == pages[1:512]
+        chain = first[511]
+        rest = parse_prp_list_page(env.read_page(chain, (600 - 512) * 8))
+        assert rest == pages[512:]
+
+    def test_unaligned_rejected(self):
+        env = _ListBuilder()
+        with pytest.raises(InvalidCommandError):
+            build_prp_list([0x1001], env.alloc, env.write)
+
+    def test_empty_rejected(self):
+        env = _ListBuilder()
+        with pytest.raises(InvalidCommandError):
+            build_prp_list([], env.alloc, env.write)
+
+    @given(st.integers(min_value=1, max_value=1300))
+    @settings(max_examples=30, deadline=None)
+    def test_property_walk_recovers_all_pages(self, n_pages):
+        """Walking any built list recovers exactly the original pages."""
+        env = _ListBuilder(n_pages=8)
+        pages = self.page_addrs(n_pages)
+        prp1, prp2 = build_prp_list(pages, env.alloc, env.write)
+        walked = [prp1]
+        if n_pages == 2:
+            walked.append(prp2)
+        elif n_pages > 2:
+            remaining = n_pages - 1
+            addr = prp2
+            while remaining:
+                if remaining > PRPS_PER_LIST_PAGE:
+                    entries = parse_prp_list_page(
+                        env.read_page(addr, PRPS_PER_LIST_PAGE * 8))
+                    walked.extend(entries[:-1])
+                    addr = entries[-1]
+                    remaining -= PRPS_PER_LIST_PAGE - 1
+                else:
+                    walked.extend(parse_prp_list_page(
+                        env.read_page(addr, remaining * 8)))
+                    remaining = 0
+        assert walked == pages
+        assert env.next_page == prp_list_pages_needed(n_pages)
+
+
+class TestParse:
+    def test_misaligned_rejected(self):
+        with pytest.raises(InvalidCommandError):
+            parse_prp_list_page(b"\x00" * 7)

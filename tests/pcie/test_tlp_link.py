@@ -1,0 +1,136 @@
+"""TLP packetization maths and link serialization."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.pcie import LinkParams, PcieLink, TlpParams
+from repro.units import KiB, ns_for_bytes
+
+
+class TestTlpParams:
+    def test_data_tlps(self):
+        t = TlpParams(mps=256)
+        assert t.data_tlps(0) == 0
+        assert t.data_tlps(1) == 1
+        assert t.data_tlps(256) == 1
+        assert t.data_tlps(257) == 2
+        assert t.data_tlps(4096) == 16
+
+    def test_wire_bytes(self):
+        t = TlpParams(mps=256, per_tlp_overhead=24)
+        assert t.wire_bytes(4096) == 4096 + 16 * 24
+
+    def test_read_requests(self):
+        t = TlpParams(mrrs=512)
+        assert t.read_requests(4096) == 8
+        assert t.read_requests(100) == 1
+        assert t.read_requests(0) == 0
+
+    def test_efficiency_improves_with_size(self):
+        t = TlpParams()
+        assert t.efficiency(64) < t.efficiency(4096)
+        assert t.efficiency(0) == 0.0
+        # 256B payload per ~280 wire bytes
+        assert t.efficiency(1 << 20) == pytest.approx(256 / 280, rel=1e-3)
+
+    def test_invalid_mps(self):
+        with pytest.raises(ConfigError):
+            TlpParams(mps=100)
+        with pytest.raises(ConfigError):
+            TlpParams(mrrs=64)
+
+    @given(st.integers(min_value=0, max_value=1 << 24))
+    def test_wire_bytes_monotone(self, n):
+        t = TlpParams()
+        assert t.wire_bytes(n) >= n
+        assert t.wire_bytes(n + 1) >= t.wire_bytes(n)
+
+
+class TestLinkParams:
+    def test_known_rates(self):
+        # Gen3 x16 = 8 GT/s * 16 * (128/130) / 8 = 15.75 GB/s
+        assert LinkParams(gen=3, lanes=16).raw_gbps == pytest.approx(15.754, rel=1e-3)
+        # Gen4 x4 = 16 * 4 * (128/130) / 8 = 7.88 GB/s
+        assert LinkParams(gen=4, lanes=4).raw_gbps == pytest.approx(7.877, rel=1e-3)
+        # Gen5 x4 doubles Gen4 x4
+        assert LinkParams(gen=5, lanes=4).raw_gbps == pytest.approx(
+            2 * LinkParams(gen=4, lanes=4).raw_gbps)
+
+    def test_describe(self):
+        assert "Gen4 x4" in LinkParams(gen=4, lanes=4).describe()
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            LinkParams(gen=7)
+        with pytest.raises(ConfigError):
+            LinkParams(lanes=3)
+        with pytest.raises(ConfigError):
+            LinkParams(chunk_bytes=100)
+
+
+class TestPcieLink:
+    def test_serialization_time(self, sim):
+        params = LinkParams(gen=3, lanes=16, propagation_ns=0)
+        link = PcieLink(sim, params)
+
+        def body():
+            yield from link.serialize("up", 64 * KiB)
+
+        sim.run_process(body())
+        wire = params.tlp.wire_bytes(64 * KiB)
+        # chunked into 16 KiB pieces; each rounds up independently
+        assert sim.now >= ns_for_bytes(wire, params.raw_gbps)
+        assert sim.now <= ns_for_bytes(wire, params.raw_gbps) + 10
+
+    def test_directions_independent(self, sim):
+        link = PcieLink(sim, LinkParams(gen=3, lanes=16))
+        finish = {}
+
+        def mover(direction):
+            yield from link.serialize(direction, 64 * KiB)
+            finish[direction] = sim.now
+
+        sim.process(mover("up"))
+        sim.process(mover("down"))
+        sim.run()
+        assert finish["up"] == finish["down"]
+
+    def test_same_direction_contends(self, sim):
+        params = LinkParams(gen=3, lanes=16, propagation_ns=0)
+        link = PcieLink(sim, params)
+        finish = []
+
+        def mover():
+            yield from link.serialize("up", 64 * KiB)
+            finish.append(sim.now)
+
+        sim.process(mover())
+        sim.process(mover())
+        sim.run()
+        # Chunked interleaving: both transfers complete around 2x solo time.
+        solo = ns_for_bytes(params.tlp.wire_bytes(64 * KiB), params.raw_gbps)
+        assert finish[1] >= 2 * solo * 0.95
+
+    def test_traffic_counters(self, sim):
+        link = PcieLink(sim, LinkParams())
+
+        def body():
+            yield from link.serialize("up", 4096)
+
+        sim.run_process(body())
+        assert link.wire_bytes["up"] == link.params.tlp.wire_bytes(4096)
+        assert link.wire_bytes["down"] == 0
+        assert link.total_wire_bytes == link.wire_bytes["up"]
+        link.reset_counters()
+        assert link.total_wire_bytes == 0
+
+    def test_bad_direction(self, sim):
+        link = PcieLink(sim, LinkParams())
+
+        def body():
+            yield from link.serialize("sideways", 10)
+
+        with pytest.raises(ValueError):
+            sim.run_process(body())

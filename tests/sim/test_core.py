@@ -1,0 +1,315 @@
+"""Event-kernel semantics: ordering, processes, conditions, interrupts."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Interrupt, Simulator
+
+
+class TestTimeoutOrdering:
+    def test_timeouts_fire_in_time_order(self, sim):
+        log = []
+
+        def p(name, delay):
+            yield sim.timeout(delay)
+            log.append((sim.now, name))
+
+        sim.process(p("late", 30))
+        sim.process(p("early", 10))
+        sim.process(p("mid", 20))
+        sim.run()
+        assert log == [(10, "early"), (20, "mid"), (30, "late")]
+
+    def test_same_time_fifo_by_creation(self, sim):
+        log = []
+
+        def p(name):
+            yield sim.timeout(5)
+            log.append(name)
+
+        for name in "abc":
+            sim.process(p(name))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_zero_delay_runs_at_current_time(self, sim):
+        times = []
+
+        def p():
+            yield sim.timeout(0)
+            times.append(sim.now)
+
+        sim.process(p())
+        sim.run()
+        assert times == [0]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.timeout(-1)
+
+    def test_run_until_stops_clock(self, sim):
+        def p():
+            yield sim.timeout(100)
+
+        sim.process(p())
+        sim.run(until=50)
+        assert sim.now == 50
+        sim.run()
+        assert sim.now == 100
+
+
+class TestProcess:
+    def test_return_value_propagates(self, sim):
+        def child():
+            yield sim.timeout(3)
+            return 42
+
+        def parent(out):
+            result = yield sim.process(child())
+            out.append(result)
+
+        out = []
+        sim.process(parent(out))
+        sim.run()
+        assert out == [42]
+
+    def test_run_process_returns_value(self, sim):
+        def body():
+            yield sim.timeout(1)
+            return "done"
+
+        assert sim.run_process(body()) == "done"
+
+    def test_exception_in_process_surfaces(self, sim):
+        def bad():
+            yield sim.timeout(1)
+            raise ValueError("boom")
+
+        sim.process(bad())
+        with pytest.raises(SimulationError) as exc_info:
+            sim.run()
+        assert isinstance(exc_info.value.__cause__, ValueError)
+
+    def test_exception_propagates_to_waiting_parent(self, sim):
+        def bad():
+            yield sim.timeout(1)
+            raise ValueError("boom")
+
+        def parent(out):
+            try:
+                yield sim.process(bad())
+            except ValueError as e:
+                out.append(str(e))
+
+        out = []
+        sim.process(parent(out))
+        # Handled by the waiting parent: the simulation does not crash.
+        sim.run()
+        assert out == ["boom"]
+
+    def test_yielding_non_event_fails(self, sim):
+        def bad():
+            yield 17
+
+        sim.process(bad())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_non_generator_rejected(self, sim):
+        with pytest.raises(TypeError):
+            sim.process(lambda: None)
+
+    def test_is_alive_lifecycle(self, sim):
+        def body():
+            yield sim.timeout(10)
+
+        p = sim.process(body())
+        assert p.is_alive
+        sim.run()
+        assert not p.is_alive
+
+    def test_process_waits_on_manual_event(self, sim):
+        ev = sim.event()
+        out = []
+
+        def waiter():
+            val = yield ev
+            out.append((sim.now, val))
+
+        def trigger():
+            yield sim.timeout(7)
+            ev.succeed("go")
+
+        sim.process(waiter())
+        sim.process(trigger())
+        sim.run()
+        assert out == [(7, "go")]
+
+    def test_yield_already_triggered_event(self, sim):
+        ev = sim.event()
+        ev.succeed(5)
+        out = []
+
+        def waiter():
+            val = yield ev
+            out.append(val)
+
+        sim.process(waiter())
+        sim.run()
+        assert out == [5]
+
+
+class TestEvent:
+    def test_double_succeed_rejected(self, sim):
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_value_before_trigger_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            _ = sim.event().value
+
+    def test_fail_requires_exception(self, sim):
+        with pytest.raises(TypeError):
+            sim.event().fail("not an exception")
+
+    def test_callback_after_processed_runs_immediately(self, sim):
+        ev = sim.event()
+        ev.succeed(1)
+        sim.run()
+        hits = []
+        ev.add_callback(lambda e: hits.append(e.value))
+        assert hits == [1]
+
+
+class TestConditions:
+    def test_all_of_waits_for_all(self, sim):
+        out = []
+
+        def body():
+            t1 = sim.timeout(5, value="a")
+            t2 = sim.timeout(15, value="b")
+            vals = yield sim.all_of([t1, t2])
+            out.append((sim.now, vals))
+
+        sim.process(body())
+        sim.run()
+        assert out == [(15, ["a", "b"])]
+
+    def test_any_of_fires_on_first(self, sim):
+        out = []
+
+        def body():
+            t1 = sim.timeout(5, value="a")
+            t2 = sim.timeout(15, value="b")
+            vals = yield sim.any_of([t1, t2])
+            out.append((sim.now, vals))
+
+        sim.process(body())
+        sim.run()
+        assert out == [(5, ["a", None])]
+
+    def test_empty_all_of_fires_immediately(self, sim):
+        out = []
+
+        def body():
+            vals = yield sim.all_of([])
+            out.append((sim.now, vals))
+
+        sim.process(body())
+        sim.run()
+        assert out == [(0, [])]
+
+
+class TestInterrupt:
+    def test_interrupt_wakes_waiting_process(self, sim):
+        out = []
+
+        def sleeper():
+            try:
+                yield sim.timeout(1000)
+                out.append("slept")
+            except Interrupt as i:
+                out.append(("interrupted", sim.now, i.cause))
+
+        def interrupter(target):
+            yield sim.timeout(10)
+            target.interrupt(cause="wakeup")
+
+        p = sim.process(sleeper())
+        sim.process(interrupter(p))
+        sim.run()
+        assert out == [("interrupted", 10, "wakeup")]
+
+    def test_interrupt_finished_process_rejected(self, sim):
+        def body():
+            yield sim.timeout(1)
+
+        p = sim.process(body())
+        sim.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_process_continues_after_interrupt(self, sim):
+        out = []
+
+        def sleeper():
+            try:
+                yield sim.timeout(1000)
+            except Interrupt:
+                pass
+            yield sim.timeout(5)
+            out.append(sim.now)
+
+        def interrupter(target):
+            yield sim.timeout(10)
+            target.interrupt()
+
+        p = sim.process(sleeper())
+        sim.process(interrupter(p))
+        sim.run()
+        assert out == [15]
+
+    def test_stale_timeout_after_interrupt_is_ignored(self, sim):
+        # The interrupted timeout still fires later; it must not corrupt
+        # the process state.
+        out = []
+
+        def sleeper():
+            try:
+                yield sim.timeout(50)
+            except Interrupt:
+                out.append("int")
+            yield sim.timeout(100)
+            out.append(sim.now)
+
+        def interrupter(target):
+            yield sim.timeout(10)
+            target.interrupt()
+
+        p = sim.process(sleeper())
+        sim.process(interrupter(p))
+        sim.run()
+        assert out == ["int", 110]
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def model(sim, log):
+            def worker(name, period, count):
+                for i in range(count):
+                    yield sim.timeout(period)
+                    log.append((sim.now, name, i))
+
+            for k in range(5):
+                sim.process(worker(f"w{k}", 7 + k, 10))
+
+        log1, log2 = [], []
+        s1, s2 = Simulator(), Simulator()
+        model(s1, log1)
+        model(s2, log2)
+        s1.run()
+        s2.run()
+        assert log1 == log2
+        assert len(log1) == 50

@@ -1,0 +1,49 @@
+"""Structured tracing."""
+
+import pytest
+
+from repro.sim import TraceRecord, Tracer
+
+
+class TestTracer:
+    def test_disabled_by_default(self):
+        t = Tracer()
+        t.emit(10, "src", "evt", x=1)
+        assert len(t) == 0
+
+    def test_records_when_enabled(self):
+        t = Tracer(enabled=True)
+        t.emit(10, "nvme", "doorbell", qid=1, tail=5)
+        t.emit(20, "rob", "complete", cid=3)
+        assert len(t) == 2
+        assert t.records(source="nvme")[0].fields["tail"] == 5
+        assert t.records(event="complete")[0].time_ns == 20
+
+    def test_ring_buffer_caps(self):
+        t = Tracer(capacity=3, enabled=True)
+        for i in range(10):
+            t.emit(i, "s", "e")
+        assert len(t) == 3
+        assert t.records()[0].time_ns == 7
+
+    def test_sink_called(self):
+        seen = []
+        t = Tracer(enabled=True)
+        t.sink = seen.append
+        t.emit(1, "a", "b")
+        assert len(seen) == 1 and isinstance(seen[0], TraceRecord)
+
+    def test_clear(self):
+        t = Tracer(enabled=True)
+        t.emit(1, "a", "b")
+        t.clear()
+        assert len(t) == 0
+
+    def test_str_format(self):
+        rec = TraceRecord(time_ns=42, source="mac", event="pause", fields={"q": 1})
+        s = str(rec)
+        assert "42" in s and "mac" in s and "q=1" in s
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)

@@ -1,0 +1,115 @@
+"""CPU thread accounting and SPDK perf-engine behaviour."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.nvme.spec import IoOpcode
+from repro.spdk import CpuThread, SpdkPerf
+from repro.systems import HostSystemConfig, build_host_system
+from repro.units import KiB, MiB
+
+
+class TestCpuThread:
+    def test_work_accumulates_busy(self, sim):
+        cpu = CpuThread(sim)
+
+        def body():
+            yield from cpu.work(100)
+            yield sim.timeout(900)
+
+        sim.run_process(body())
+        assert cpu.busy_ns() == 100
+        assert cpu.utilization() == pytest.approx(0.1)
+
+    def test_spin_counts_wall_clock(self, sim):
+        cpu = CpuThread(sim)
+
+        def body():
+            cpu.begin_spin()
+            yield sim.timeout(500)
+            cpu.end_spin()
+            yield sim.timeout(500)
+
+        sim.run_process(body())
+        assert cpu.busy_ns() == 500
+        assert cpu.utilization() == pytest.approx(0.5)
+
+    def test_work_inside_spin_not_double_counted(self, sim):
+        cpu = CpuThread(sim)
+
+        def body():
+            cpu.begin_spin()
+            yield from cpu.work(200)
+            yield sim.timeout(800)
+            cpu.end_spin()
+
+        sim.run_process(body())
+        assert cpu.busy_ns() == 1000  # the spin interval, once
+
+    def test_double_spin_rejected(self, sim):
+        cpu = CpuThread(sim)
+        cpu.begin_spin()
+        with pytest.raises(ConfigError):
+            cpu.begin_spin()
+
+    def test_reset_accounting(self, sim):
+        cpu = CpuThread(sim)
+
+        def body():
+            yield from cpu.work(100)
+            cpu.reset_accounting()
+            yield sim.timeout(100)
+
+        sim.run_process(body())
+        assert cpu.busy_ns() == 0
+
+    def test_serializes_work(self, sim):
+        cpu = CpuThread(sim)
+        ends = []
+
+        def worker():
+            yield from cpu.work(100)
+            ends.append(sim.now)
+
+        sim.process(worker())
+        sim.process(worker())
+        sim.run()
+        assert ends == [100, 200]
+
+
+class TestSpdkPerfEngine:
+    @pytest.fixture
+    def perf(self, sim):
+        system = build_host_system(sim, HostSystemConfig(functional=False))
+        driver = system.spdk_driver()
+        sim.run_process(driver.initialize())
+        return SpdkPerf(driver)
+
+    def test_sequential_counts_all_bytes(self, sim, perf):
+        run = sim.run_process(perf.seq_read(16 * MiB, io_bytes=1 * MiB))
+        assert run.total_bytes == 16 * MiB
+        assert len(run.latencies_ns) == 16
+        assert run.gbps > 1.0
+
+    def test_random_respects_io_size(self, sim, perf):
+        run = sim.run_process(perf.rand_write(1 * MiB, io_bytes=4 * KiB))
+        assert len(run.latencies_ns) == 256
+
+    def test_misaligned_totals_rejected(self, sim, perf):
+        with pytest.raises(ConfigError):
+            sim.run_process(perf.seq_read(1 * MiB + 1))
+
+    def test_submit_split_respects_mdts(self, sim, perf):
+        driver = perf.driver
+        buf = driver.alloc_buffer(5 * MiB)
+
+        def body():
+            handles = yield from driver.submit_split(
+                IoOpcode.WRITE, 0, 5 * MiB, buf)
+            for h in handles:
+                yield h.done
+            return handles
+
+        handles = sim.run_process(body())
+        mdts = driver.device.config.profile.mdts_bytes
+        assert len(handles) == -(-5 * MiB // mdts)

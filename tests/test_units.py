@@ -1,0 +1,108 @@
+"""Unit helpers: conversions, alignment, formatting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.units import (GiB, KiB, MiB, SEC, align_down, align_up, fmt_size,
+                         fmt_time, gbps_for, is_aligned, ns_for_bytes)
+
+
+class TestNsForBytes:
+    def test_exact(self):
+        # 4096 B at 4.096 GB/s is exactly 1000 ns.
+        assert ns_for_bytes(4096, 4.096) == 1000
+
+    def test_rounds_up(self):
+        # 1 byte at 100 GB/s would be 0.01 ns; must round to 1 ns.
+        assert ns_for_bytes(1, 100.0) == 1
+
+    def test_zero_bytes(self):
+        assert ns_for_bytes(0, 10.0) == 0
+
+    def test_one_gb_at_one_gbps(self):
+        assert ns_for_bytes(10**9, 1.0) == SEC
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            ns_for_bytes(-1, 1.0)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            ns_for_bytes(1, 0.0)
+
+    @given(st.integers(min_value=0, max_value=1 << 40),
+           st.floats(min_value=0.1, max_value=1000.0,
+                     allow_nan=False, allow_infinity=False))
+    def test_never_exceeds_nominal_rate(self, nbytes, gbps):
+        ns = ns_for_bytes(nbytes, gbps)
+        if nbytes == 0:
+            assert ns == 0
+        else:
+            # achieved rate = nbytes/ns must be <= gbps (we round delay up)
+            assert ns >= 1
+            assert nbytes / ns <= gbps * (1 + 1e-9)
+
+
+class TestGbpsFor:
+    def test_identity(self):
+        assert gbps_for(10**9, SEC) == pytest.approx(1.0)
+
+    def test_zero_elapsed_rejected(self):
+        with pytest.raises(ValueError):
+            gbps_for(1, 0)
+
+    @given(st.integers(min_value=1, max_value=1 << 40),
+           st.floats(min_value=0.5, max_value=500.0, allow_nan=False))
+    def test_roundtrip(self, nbytes, gbps):
+        ns = ns_for_bytes(nbytes, gbps)
+        # Round-trip within the 1-ns quantisation error.
+        assert gbps_for(nbytes, ns) <= gbps * (1 + 1e-9)
+
+
+class TestAlignment:
+    def test_align_up(self):
+        assert align_up(1, 4096) == 4096
+        assert align_up(4096, 4096) == 4096
+        assert align_up(4097, 4096) == 8192
+        assert align_up(0, 4096) == 0
+
+    def test_align_down(self):
+        assert align_down(4097, 4096) == 4096
+        assert align_down(4095, 4096) == 0
+
+    def test_is_aligned(self):
+        assert is_aligned(8192, 4096)
+        assert not is_aligned(8193, 4096)
+
+    def test_non_power_of_two_rejected(self):
+        for fn in (align_up, align_down, is_aligned):
+            with pytest.raises(ValueError):
+                fn(10, 3)
+            with pytest.raises(ValueError):
+                fn(10, 0)
+
+    @given(st.integers(min_value=0, max_value=1 << 50),
+           st.sampled_from([1, 2, 64, 4096, 1 << 20]))
+    def test_align_properties(self, value, alignment):
+        up = align_up(value, alignment)
+        down = align_down(value, alignment)
+        assert down <= value <= up
+        assert is_aligned(up, alignment)
+        assert is_aligned(down, alignment)
+        assert up - down in (0, alignment)
+
+
+class TestFormatting:
+    def test_fmt_size(self):
+        assert fmt_size(512) == "512 B"
+        assert fmt_size(4 * KiB) == "4 KiB"
+        assert fmt_size(64 * MiB) == "64 MiB"
+        assert fmt_size(GiB) == "1 GiB"
+        assert fmt_size(1536) == "1.5 KiB"
+
+    def test_fmt_time(self):
+        assert fmt_time(5) == "5 ns"
+        assert fmt_time(5_000) == "5.00 us"
+        assert fmt_time(5_000_000) == "5.000 ms"
+        assert fmt_time(5 * SEC) == "5.000 s"
