@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# One-shot static gate: snacclint + ruff + mypy.
+#
+#   ./scripts/check.sh
+#
+# snacclint (python -m repro.analysis) is always run — it has no
+# third-party dependencies.  ruff and mypy run when installed (pip
+# install -e '.[lint]') and are skipped with a notice otherwise, so the
+# gate works in minimal containers.  Exit code is non-zero if any gate
+# that ran failed.  tests/analysis/test_check_script.py runs this script
+# under plain pytest, so `pytest -x -q` alone catches regressions.
+set -u
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+status=0
+
+echo "== snacclint (python -m repro.analysis) =="
+python -m repro.analysis src tests benchmarks examples || status=1
+
+echo "== ruff =="
+if python -m ruff --version >/dev/null 2>&1; then
+    python -m ruff check src tests benchmarks examples || status=1
+else
+    echo "skipped (ruff not installed; pip install -e '.[lint]')"
+fi
+
+echo "== mypy =="
+if python -m mypy --version >/dev/null 2>&1; then
+    python -m mypy || status=1
+else
+    echo "skipped (mypy not installed; pip install -e '.[lint]')"
+fi
+
+exit $status

@@ -1,0 +1,38 @@
+"""Static analysis for the repro simulation codebase (*snacclint*).
+
+The discrete-event kernel's correctness contract — integer-ns clock,
+every minted event consumed, deterministic RNG — cannot be expressed in
+Python's type system, so this package enforces it mechanically with an
+AST-based rule engine.  Run it as::
+
+    python -m repro.analysis src tests benchmarks examples [--format json]
+
+See :mod:`repro.analysis.engine` for the machinery and
+:mod:`repro.analysis.rules` for the rule pack (SIM001–SIM005).
+"""
+
+from .engine import (
+    Finding,
+    Module,
+    Rule,
+    all_rules,
+    analyze_paths,
+    analyze_source,
+    iter_python_files,
+    register,
+    render_json,
+    render_text,
+)
+
+__all__ = [
+    "Finding",
+    "Module",
+    "Rule",
+    "all_rules",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+    "register",
+    "render_json",
+    "render_text",
+]

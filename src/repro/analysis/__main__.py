@@ -1,0 +1,74 @@
+"""CLI driver: ``python -m repro.analysis [paths] [--format text|json]``.
+
+Exit codes: 0 — clean, 1 — findings, 2 — usage or parse/IO errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .engine import all_rules, analyze_paths, render_json, render_text
+
+
+def _split_ids(values: Optional[List[str]]) -> Optional[List[str]]:
+    if not values:
+        return None
+    ids: List[str] = []
+    for value in values:
+        ids.extend(part.strip() for part in value.split(",") if part.strip())
+    return ids
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="snacclint: simulation-hazard static analyzer "
+                    "(rules SIM001-SIM005)",
+    )
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to analyze")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format (default: text)")
+    parser.add_argument("--select", action="append", metavar="RULES",
+                        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument("--ignore", action="append", metavar="RULES",
+                        help="comma-separated rule ids to skip")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, rule in sorted(all_rules().items()):
+            print(f"{rule_id}  {rule.title}: {rule.hazard}")
+        return 0
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given (or use --list-rules)", file=sys.stderr)
+        return 2
+
+    try:
+        findings, errors, files_analyzed = analyze_paths(
+            args.paths,
+            select=_split_ids(args.select),
+            ignore=_split_ids(args.ignore),
+        )
+    except ValueError as exc:  # unknown rule id in --select/--ignore
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(render_json(findings, files_analyzed))
+    else:
+        print(render_text(findings, files_analyzed))
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    if errors:
+        return 2
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

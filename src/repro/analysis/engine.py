@@ -1,0 +1,484 @@
+"""snacclint engine: AST-based static analysis for simulation hazards.
+
+The discrete-event kernel (:mod:`repro.sim.core`) has a correctness contract
+that Python cannot enforce at definition time:
+
+* the clock is an **integer** count of nanoseconds — a ``float`` delay
+  silently breaks cycle accuracy;
+* every :class:`~repro.sim.core.Event` minted by a factory
+  (``sim.timeout`` / ``sim.event`` / ``sim.process`` / ``sim.all_of`` /
+  ``sim.any_of``) must be yielded, bound, or passed on — a discarded
+  ``sim.timeout(...)`` still schedules, so the bug is silent;
+* processes are generators registered via ``sim.process(...)`` — a bare
+  generator call does nothing;
+* runs must be deterministic — wall-clock reads and unseeded RNGs are
+  forbidden inside the model.
+
+This module provides the machinery shared by every rule: per-module AST
+context (scope, alias, and import tracking), the rule registry, suppression
+comments, reporters, and the path-walking driver.  The rules themselves live
+in :mod:`repro.analysis.rules`.
+
+Suppressions
+------------
+A comment on the *reported line* disables rules for that line::
+
+    t0 = time.time()  # snacclint: disable=SIM004
+
+``# snacclint: disable`` (no ``=RULE`` list) disables every rule for the
+line.  A standalone ``# snacclint: disable-file=SIM004`` comment anywhere in
+a file disables the listed rules (or all, if bare) for the whole file.
+
+Exit codes (CLI): 0 — clean, 1 — findings, 2 — usage or parse errors.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import json
+import re
+import tokenize
+from io import StringIO
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "Module",
+    "register",
+    "all_rules",
+    "analyze_source",
+    "analyze_paths",
+    "iter_python_files",
+    "render_text",
+    "render_json",
+    "SIM_FACTORIES",
+    "SIM_RECEIVER_NAMES",
+]
+
+#: Simulator methods that mint events.
+SIM_FACTORIES = frozenset({"timeout", "event", "process", "all_of", "any_of"})
+
+#: Names (variable or attribute) treated as "a Simulator instance".
+SIM_RECEIVER_NAMES = frozenset(
+    {"sim", "_sim", "simulator", "_simulator", "env", "_env", "environment"})
+
+#: Directory names skipped while *walking* (explicit file arguments are
+#: always analyzed — this is how the deliberately-hazardous rule fixtures
+#: under ``tests/analysis/fixtures/`` stay out of the self-gate).
+DEFAULT_EXCLUDED_DIRS = frozenset({"fixtures", "__pycache__", ".git", ".venv", "build", "dist"})
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*snacclint:\s*(?P<kind>disable(?:-file)?)"
+    r"(?:\s*=\s*(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*))?")
+
+_SCOPE_TYPES = (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        """``path:line:col: RULE message`` — the text-reporter line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-reporter shape."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }
+
+
+class Rule:
+    """Base class for snacclint rules.
+
+    Subclasses set :attr:`id` / :attr:`title` / :attr:`hazard` and implement
+    :meth:`check`, yielding findings.  Suppression filtering happens in the
+    engine — rules report everything they see.
+    """
+
+    id: str = ""
+    title: str = ""
+    #: one-line description of why the pattern breaks the simulation
+    hazard: str = ""
+
+    def check(self, module: "Module") -> Iterator[Finding]:
+        """Yield every violation of this rule found in *module*."""
+        raise NotImplementedError
+
+    def finding(self, module: "Module", node: ast.AST, message: str) -> Finding:
+        """Build a finding anchored at *node*."""
+        return Finding(
+            path=module.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=self.id,
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule (by its ``id``) to the global registry."""
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    _REGISTRY[rule.id] = rule
+    return cls
+
+
+def all_rules() -> Dict[str, Rule]:
+    """The registered rules, keyed by id (imports the rule pack lazily)."""
+    # Imported here so `engine` stays import-cycle free: rules import engine.
+    from . import rules as _rules  # noqa: F401  (import populates registry)
+    return dict(_REGISTRY)
+
+
+class Module:
+    """Parsed source file plus the semantic context rules query.
+
+    Construction raises :class:`SyntaxError` if the source does not parse;
+    the driver turns that into an exit-code-2 error entry.
+    """
+
+    def __init__(self, path: str, source: str):
+        self.path = path
+        self.source = source
+        self.tree = ast.parse(source, filename=path)
+        #: line -> rule-ids suppressed there (None = all rules)
+        self._line_suppress: Dict[int, Optional[Set[str]]] = {}
+        #: file-wide suppressions (None = every rule)
+        self._file_suppress: Optional[Set[str]] = set()
+        self._collect_suppressions()
+
+        #: id(node) -> enclosing scope node
+        self._scope: Dict[int, ast.AST] = {}
+        #: id(scope) -> its enclosing scope
+        self._scope_parent: Dict[int, ast.AST] = {}
+        #: id(scope) -> {alias name -> sim factory name}
+        self._factory_aliases: Dict[int, Dict[str, str]] = {}
+        #: id(scope) -> names bound to a Simulator instance
+        self._sim_names: Dict[int, Set[str]] = {}
+        #: local name -> dotted module/object path (import tracking)
+        self._imports: Dict[str, str] = {}
+        #: function/method name -> FunctionDef for every generator function
+        self._generator_functions: Dict[str, ast.FunctionDef] = {}
+        #: names of generator functions registered via ``sim.process(...)``
+        self._registered_processes: Set[str] = set()
+        self._build_context()
+
+    # -- construction ---------------------------------------------------------
+    def _collect_suppressions(self) -> None:
+        try:
+            tokens = list(tokenize.generate_tokens(StringIO(self.source).readline))
+        except tokenize.TokenizeError:  # pragma: no cover - parse already ok
+            return
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if match is None:
+                continue
+            rules = match.group("rules")
+            ids = {r.strip() for r in rules.split(",")} if rules else None
+            if match.group("kind") == "disable-file":
+                if ids is None or self._file_suppress is None:
+                    self._file_suppress = None
+                else:
+                    self._file_suppress.update(ids)
+            else:
+                line = tok.start[0]
+                existing = self._line_suppress.get(line, set())
+                if ids is None or existing is None:
+                    self._line_suppress[line] = None
+                else:
+                    existing.update(ids)
+                    self._line_suppress[line] = existing
+
+    def _build_context(self) -> None:
+        self._index_scopes(self.tree, self.tree)
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for name in node.names:
+                    self._imports[name.asname or name.name.split(".")[0]] = (
+                        name.name if name.asname else name.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for name in node.names:
+                    self._imports[name.asname or name.name] = f"{node.module}.{name.name}"
+            elif isinstance(node, ast.FunctionDef) and self._is_generator(node):
+                self._generator_functions.setdefault(node.name, node)
+            elif isinstance(node, ast.Assign):
+                self._record_assignment(node)
+        # Second pass (needs factory aliases): which generators are actually
+        # registered as processes somewhere in this module?
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Call) and self.factory_of(node) == "process":
+                self._record_process_registration(node)
+
+    def _index_scopes(self, node: ast.AST, scope: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            self._scope[id(child)] = scope
+            if isinstance(child, _SCOPE_TYPES):
+                self._scope_parent[id(child)] = scope
+                self._index_scopes(child, child)
+            else:
+                self._index_scopes(child, scope)
+
+    @staticmethod
+    def _is_generator(fn: ast.FunctionDef) -> bool:
+        """True if *fn* itself yields (nested defs don't count)."""
+        return any(
+            isinstance(n, (ast.Yield, ast.YieldFrom))
+            for n in Module._walk_same_function(fn))
+
+    @staticmethod
+    def _walk_same_function(fn: ast.FunctionDef) -> Iterator[ast.AST]:
+        """Walk *fn*'s body without descending into nested function defs."""
+        stack: List[ast.AST] = list(ast.iter_child_nodes(fn))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _record_assignment(self, node: ast.Assign) -> None:
+        if len(node.targets) != 1 or not isinstance(node.targets[0], ast.Name):
+            return
+        name = node.targets[0].id
+        scope = self._scope.get(id(node), self.tree)
+        value = node.value
+        # ``t = sim.timeout`` — factory alias.
+        if (isinstance(value, ast.Attribute) and value.attr in SIM_FACTORIES
+                and self.is_sim_expr(value.value, scope)):
+            self._factory_aliases.setdefault(id(scope), {})[name] = value.attr
+        # ``s = Simulator()`` or ``s = sim`` — simulator alias.
+        elif self.is_sim_expr(value, scope):
+            self._sim_names.setdefault(id(scope), set()).add(name)
+
+    def _record_process_registration(self, call: ast.Call) -> None:
+        if not call.args:
+            return
+        arg = call.args[0]
+        if isinstance(arg, ast.Call):
+            target = arg.func
+        else:
+            target = arg
+        if isinstance(target, ast.Name):
+            self._registered_processes.add(target.id)
+        elif isinstance(target, ast.Attribute):
+            self._registered_processes.add(target.attr)
+
+    # -- queries ---------------------------------------------------------------
+    @property
+    def generator_functions(self) -> Dict[str, ast.FunctionDef]:
+        """Every generator function/method defined in this module, by name."""
+        return self._generator_functions
+
+    @property
+    def registered_processes(self) -> Set[str]:
+        """Names of generators passed to ``sim.process(...)`` in this module."""
+        return self._registered_processes
+
+    def scope_of(self, node: ast.AST) -> ast.AST:
+        """The function/class/module scope enclosing *node*."""
+        return self._scope.get(id(node), self.tree)
+
+    def _scope_chain(self, scope: ast.AST) -> Iterator[ast.AST]:
+        current: Optional[ast.AST] = scope
+        while current is not None:
+            yield current
+            current = self._scope_parent.get(id(current))
+
+    def is_sim_expr(self, node: ast.AST, scope: Optional[ast.AST] = None) -> bool:
+        """Heuristic: does *node* evaluate to a Simulator instance?"""
+        if isinstance(node, ast.Name):
+            if node.id in SIM_RECEIVER_NAMES:
+                return True
+            scope = scope if scope is not None else self.scope_of(node)
+            return any(node.id in self._sim_names.get(id(s), ())
+                       for s in self._scope_chain(scope))
+        if isinstance(node, ast.Attribute):
+            return node.attr in SIM_RECEIVER_NAMES
+        if isinstance(node, ast.Call):
+            func = node.func
+            tail = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else "")
+            return tail == "Simulator"
+        return False
+
+    def factory_of(self, call: ast.Call) -> Optional[str]:
+        """Which sim event factory *call* invokes, if any.
+
+        Resolves both direct calls (``sim.timeout(5)``, ``self.sim.process(g)``)
+        and aliases recorded in the enclosing scopes (``t = sim.timeout; t(5)``).
+        """
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr in SIM_FACTORIES:
+            if self.is_sim_expr(func.value, self.scope_of(call)):
+                return func.attr
+        if isinstance(func, ast.Name):
+            for scope in self._scope_chain(self.scope_of(call)):
+                factory = self._factory_aliases.get(id(scope), {}).get(func.id)
+                if factory is not None:
+                    return factory
+        return None
+
+    def dotted_path(self, node: ast.AST) -> Optional[str]:
+        """Dotted path of a Name/Attribute chain, import aliases expanded.
+
+        ``np.random.default_rng`` (after ``import numpy as np``) becomes
+        ``numpy.random.default_rng``; ``from time import time`` makes a bare
+        ``time(...)`` call resolve to ``time.time``.
+        """
+        parts: List[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        root = self._imports.get(current.id, current.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def walk(self, *types: type) -> Iterator[ast.AST]:
+        """All nodes of the given AST types."""
+        for node in ast.walk(self.tree):
+            if isinstance(node, types):
+                yield node
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        """True if findings of *rule_id* on *line* are suppressed."""
+        if self._file_suppress is None or rule_id in (self._file_suppress or ()):
+            return True
+        ids = self._line_suppress.get(line, frozenset())
+        return ids is None or rule_id in ids
+
+
+# -- driver --------------------------------------------------------------------
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Run the rule pack over one source string; returns sorted findings.
+
+    *select*/*ignore* restrict the rule set by id.  Raises
+    :class:`SyntaxError` if the source does not parse.
+    """
+    rules = all_rules()
+    selected = set(select) if select is not None else set(rules)
+    if ignore:
+        selected -= set(ignore)
+    unknown = selected - set(rules)
+    if unknown:
+        raise ValueError(f"unknown rule ids: {sorted(unknown)}")
+    module = Module(path, source)
+    findings = [
+        f
+        for rule_id in sorted(selected)
+        for f in rules[rule_id].check(module)
+        if not module.is_suppressed(f.line, f.rule_id)
+    ]
+    return sorted(findings)
+
+
+def iter_python_files(
+    paths: Sequence[str],
+    excluded_dirs: FrozenSet[str] = DEFAULT_EXCLUDED_DIRS,
+) -> Iterator[Path]:
+    """Yield the ``.py`` files named by *paths* (files kept, dirs walked).
+
+    Directory walks skip :data:`DEFAULT_EXCLUDED_DIRS` components; explicit
+    file arguments are always yielded, which is how the hazard fixtures are
+    analyzed on demand but never by the tree-wide gate.
+    """
+    seen: Set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            if path not in seen:
+                seen.add(path)
+                yield path
+        elif path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if any(part in excluded_dirs for part in sub.parts):
+                    continue
+                if sub not in seen:
+                    seen.add(sub)
+                    yield sub
+        else:
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> Tuple[List[Finding], List[str], int]:
+    """Analyze every Python file under *paths*.
+
+    Returns ``(findings, errors, files_analyzed)`` where *errors* are
+    human-readable parse/IO failures (CLI exit code 2 when non-empty).
+    """
+    findings: List[Finding] = []
+    errors: List[str] = []
+    count = 0
+    try:
+        files = list(iter_python_files(paths))
+    except FileNotFoundError as exc:
+        return [], [str(exc)], 0
+    for file in files:
+        count += 1
+        try:
+            source = file.read_text(encoding="utf-8")
+            findings.extend(analyze_source(source, path=str(file),
+                                           select=select, ignore=ignore))
+        except SyntaxError as exc:
+            errors.append(f"{file}:{exc.lineno or 0}: syntax error: {exc.msg}")
+        except OSError as exc:
+            errors.append(f"{file}: {exc}")
+    return sorted(findings), errors, count
+
+
+# -- reporters -------------------------------------------------------------------
+
+def render_text(findings: Sequence[Finding], files_analyzed: int) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [f.format() for f in findings]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(f"snacclint: {len(findings)} {noun} in {files_analyzed} files")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], files_analyzed: int) -> str:
+    """Machine-readable report (stable shape, see README)."""
+    return json.dumps(
+        {
+            "version": 1,
+            "files_analyzed": files_analyzed,
+            "count": len(findings),
+            "findings": [f.as_dict() for f in findings],
+        },
+        indent=2,
+    )

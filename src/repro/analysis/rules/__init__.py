@@ -1,0 +1,16 @@
+"""snacclint rule pack: DES-specific hazards for the repro simulation kernel.
+
+Importing this package registers every rule with the engine registry:
+
+========  ==================================================================
+SIM001    event minted by a sim factory but never consumed
+SIM002    generator function called but never registered via ``sim.process``
+SIM003    float expression flowing into an integer-ns time/delay argument
+SIM004    nondeterminism source (wall clock, unseeded RNG)
+SIM005    ``yield`` of a statically non-Event expression in a process
+========  ==================================================================
+"""
+
+from . import determinism, events, timing
+
+__all__ = ["events", "timing", "determinism"]

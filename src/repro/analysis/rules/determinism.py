@@ -1,0 +1,104 @@
+"""Determinism rule: SIM004.
+
+Two runs of the same model must interleave identically — that is the whole
+basis of the kernel's heap-tie-breaker design and of every figure the bench
+suite reproduces.  Wall-clock reads and unseeded RNGs are the two ways code
+silently acquires run-to-run variance.  Bench *report* timestamps (how long
+did the experiment take on the host) are legitimately wall-clock; those
+files are allowlisted explicitly below rather than suppressed inline, so
+the exemption is reviewable in one place.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..engine import Finding, Module, Rule, register
+
+__all__ = ["NondeterminismSource", "WALLCLOCK_ALLOWED_FILES"]
+
+#: dotted call paths that read the wall clock.
+_WALLCLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: files allowed to read the wall clock: host-side bench *reporting* only
+#: (elapsed-seconds lines in progress output), never model code.
+WALLCLOCK_ALLOWED_FILES = (
+    "repro/bench/__main__.py",
+    "repro/bench/runner.py",
+)
+
+#: ``numpy.random.*`` functions that mutate the *global* legacy RNG state —
+#: nondeterministic under any concurrent user, flagged even with arguments.
+_NUMPY_GLOBAL_STATE = frozenset({
+    "seed", "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "bytes", "shuffle", "permutation", "choice", "uniform",
+    "normal", "standard_normal", "poisson", "exponential",
+})
+
+#: ``numpy.random`` constructors that are fine *when seeded*.
+_NUMPY_SEEDABLE = frozenset({
+    "default_rng", "Generator", "PCG64", "PCG64DXSM", "Philox", "SFC64",
+    "MT19937", "SeedSequence", "RandomState",
+})
+
+
+@register
+class NondeterminismSource(Rule):
+    """SIM004: wall-clock read or unseeded RNG inside the model.
+
+    Flags ``time.time``-family calls (outside the explicit bench-report
+    allowlist), any use of the global ``random`` module, numpy legacy
+    global-state RNG calls, and ``np.random.default_rng()`` (or any bit
+    generator) constructed without a seed argument.
+    """
+
+    id = "SIM004"
+    title = "nondeterminism source"
+    hazard = ("wall clocks and unseeded RNGs give every run a different "
+              "event interleaving; figures stop being reproducible")
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        wallclock_allowed = module.path.replace("\\", "/").endswith(
+            WALLCLOCK_ALLOWED_FILES)
+        for call in module.walk(ast.Call):
+            assert isinstance(call, ast.Call)
+            message = self._classify(module, call, wallclock_allowed)
+            if message is not None:
+                yield self.finding(module, call, message)
+
+    @staticmethod
+    def _classify(module: Module, call: ast.Call,
+                  wallclock_allowed: bool) -> Optional[str]:
+        path = module.dotted_path(call.func)
+        if path is None:
+            return None
+        if path in _WALLCLOCK_CALLS:
+            if wallclock_allowed:
+                return None
+            return (f"{path}() reads the wall clock; model time is sim.now "
+                    f"(bench report files are allowlisted in "
+                    f"repro.analysis.rules.determinism)")
+        if path.startswith("random."):
+            tail = path.split(".", 1)[1]
+            if tail.startswith("Random") or tail.startswith("SystemRandom"):
+                if call.args or call.keywords:
+                    return None  # random.Random(seed) — explicit instance
+                return ("random.Random() constructed without a seed; pass "
+                        "an explicit seed")
+            return (f"{path}() uses the global random module; use a seeded "
+                    f"np.random.default_rng(seed) or random.Random(seed)")
+        if path.startswith("numpy.random."):
+            tail = path.rsplit(".", 1)[1]
+            if tail in _NUMPY_GLOBAL_STATE:
+                return (f"np.random.{tail}() mutates numpy's global RNG "
+                        f"state; use a seeded np.random.default_rng(seed)")
+            if tail in _NUMPY_SEEDABLE and not call.args and not call.keywords:
+                return (f"np.random.{tail}() constructed without a seed; "
+                        f"pass an explicit seed argument")
+        return None

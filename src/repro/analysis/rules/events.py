@@ -1,0 +1,147 @@
+"""Event-lifecycle rules: SIM001, SIM002, SIM005.
+
+These guard the generator-process contract of :mod:`repro.sim.core`:
+every event minted must be consumed, every process generator must be
+registered, and a process may only ever yield :class:`Event` objects.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..engine import Finding, Module, Rule, register
+
+__all__ = ["UnconsumedEvent", "UnregisteredGenerator", "YieldNonEvent"]
+
+
+def _call_target_name(call: ast.Call) -> Optional[str]:
+    """Bare name of the callable (``foo`` or ``obj.foo``), if resolvable."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+@register
+class UnconsumedEvent(Rule):
+    """SIM001: an event minted by a sim factory is silently discarded.
+
+    ``sim.timeout(5)`` as a bare expression statement *still schedules* the
+    timeout — the simulation burns virtual time on it, but no process ever
+    observes it, so the model is wrong and nothing crashes.  The same applies
+    to ``sim.event()`` (dead event nobody can trigger via a handle) and
+    ``sim.process(...)`` (the caller keeps no handle to join or interrupt).
+    """
+
+    id = "SIM001"
+    title = "un-consumed event"
+    hazard = ("a discarded factory result still schedules; the model silently "
+              "diverges instead of crashing")
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for stmt in module.walk(ast.Expr):
+            assert isinstance(stmt, ast.Expr)
+            value = stmt.value
+            if not isinstance(value, ast.Call):
+                continue
+            factory = module.factory_of(value)
+            if factory is None:
+                continue
+            yield self.finding(
+                module, value,
+                f"result of sim.{factory}(...) is neither yielded, bound, "
+                f"nor passed on (bind it: `_ = sim.{factory}(...)` if the "
+                f"handle is deliberately unused)")
+
+
+@register
+class UnregisteredGenerator(Rule):
+    """SIM002: a process generator function is called but never registered.
+
+    Calling a generator function as a bare statement creates a generator
+    object and throws it away — not a single line of its body runs.  The
+    author almost always meant ``sim.process(worker(...))``.
+    """
+
+    id = "SIM002"
+    title = "generator called but not registered"
+    hazard = ("a bare generator-function call runs none of its body; the "
+              "process the author expected never exists")
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        generators = module.generator_functions
+        for stmt in module.walk(ast.Expr):
+            assert isinstance(stmt, ast.Expr)
+            value = stmt.value
+            if not isinstance(value, ast.Call):
+                continue
+            if module.factory_of(value) is not None:
+                continue  # SIM001's territory
+            name = _call_target_name(value)
+            if name is None or name not in generators:
+                continue
+            yield self.finding(
+                module, value,
+                f"generator function {name!r} called as a statement; nothing "
+                f"runs — register it with sim.process({name}(...)) or "
+                f"iterate it")
+
+
+#: ``yield`` value node types that can never evaluate to an Event.
+_NEVER_EVENT = (
+    ast.JoinedStr, ast.List, ast.Tuple, ast.Set, ast.Dict,
+    ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp,
+    ast.BinOp, ast.UnaryOp, ast.BoolOp, ast.Compare, ast.Lambda,
+)
+
+
+@register
+class YieldNonEvent(Rule):
+    """SIM005: a simulation process yields something that is not an Event.
+
+    At runtime this kills the process with a :class:`SimulationError`; the
+    static check catches it before a single run.  Only generators that are
+    demonstrably sim processes are examined: those registered via
+    ``sim.process(...)`` in the same module, or those that yield at least
+    one sim-factory call themselves.
+    """
+
+    id = "SIM005"
+    title = "yield of a non-Event in a process"
+    hazard = ("a process yielding a non-Event crashes at runtime with "
+              "SimulationError; catch it statically instead")
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for name, fn in module.generator_functions.items():
+            if not self._is_sim_process(module, name, fn):
+                continue
+            for node in Module._walk_same_function(fn):
+                if not isinstance(node, ast.Yield):
+                    continue
+                value = node.value
+                if value is None:
+                    yield self.finding(
+                        module, node,
+                        f"bare `yield` in process {name!r} yields None, "
+                        f"which is not an Event")
+                elif isinstance(value, _NEVER_EVENT) or (
+                        isinstance(value, ast.Constant)):
+                    label = type(value).__name__
+                    yield self.finding(
+                        module, node,
+                        f"process {name!r} yields a {label}, which can "
+                        f"never be an Event")
+
+    @staticmethod
+    def _is_sim_process(module: Module, name: str, fn: ast.FunctionDef) -> bool:
+        if name in module.registered_processes:
+            return True
+        for node in Module._walk_same_function(fn):
+            if (isinstance(node, ast.Yield)
+                    and isinstance(node.value, ast.Call)
+                    and module.factory_of(node.value) is not None):
+                return True
+        return False

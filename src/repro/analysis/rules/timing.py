@@ -1,0 +1,110 @@
+"""Integer-clock rule: SIM003.
+
+The kernel clock is an integer count of nanoseconds (:mod:`repro.units`
+documents the single round-up policy).  A ``float`` delay still *works* —
+``heapq`` happily orders mixed int/float keys — which is exactly why it is
+dangerous: event times drift onto non-integer instants, equality comparisons
+against computed deadlines stop holding, and two platforms can order events
+differently.  This rule flags delay expressions that are *provably* float;
+expressions of unknown type are left alone (no false positives on
+``profile.read_cmd_overhead_ns`` and friends).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..engine import Finding, Module, Rule, register
+
+__all__ = ["FloatDelay", "definitely_float"]
+
+#: callables whose result is known not to be float (int or Event/other).
+_INT_RETURNING = frozenset({
+    "int", "len", "round", "ns_for_bytes", "align_up", "align_down", "ord",
+})
+
+#: arithmetic operators that propagate floatness from either operand.
+_PROPAGATING_OPS = (ast.Add, ast.Sub, ast.Mult, ast.Mod, ast.Pow, ast.FloorDiv)
+
+
+def definitely_float(node: ast.AST, module: Module) -> bool:
+    """True only when *node* provably evaluates to a float.
+
+    Conservative by design: a plain Name or attribute read is *not* flagged
+    even if it happens to hold a float at runtime — that class is covered by
+    the mypy gate on ``repro.sim`` instead.
+    """
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True  # true division is float even on int operands
+        if isinstance(node.op, _PROPAGATING_OPS):
+            return (definitely_float(node.left, module)
+                    or definitely_float(node.right, module))
+        return False
+    if isinstance(node, ast.UnaryOp):
+        return definitely_float(node.operand, module)
+    if isinstance(node, ast.Call):
+        path = module.dotted_path(node.func)
+        if path == "float":
+            return True
+        return False
+    if isinstance(node, ast.IfExp):
+        return (definitely_float(node.body, module)
+                or definitely_float(node.orelse, module))
+    return False
+
+
+def _delay_argument(call: ast.Call, position: int, keyword: str) -> Optional[ast.AST]:
+    """The delay expression of a factory/scheduler call, if present."""
+    if len(call.args) > position:
+        return call.args[position]
+    for kw in call.keywords:
+        if kw.arg == keyword:
+            return kw.value
+    return None
+
+
+@register
+class FloatDelay(Rule):
+    """SIM003: a provably-float expression flows into a time/delay argument.
+
+    Covers ``sim.timeout(delay)`` (including aliases) and direct
+    ``sim._schedule(event, delay=...)`` calls.  The fix is a single rounding
+    policy: route the math through :func:`repro.units.ns_for_bytes` or wrap
+    the expression in an explicit round-up before it reaches the kernel.
+    """
+
+    id = "SIM003"
+    title = "float delay on the integer-ns clock"
+    hazard = ("float event times break cycle accuracy and cross-platform "
+              "determinism; the clock is integer nanoseconds")
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for call in module.walk(ast.Call):
+            assert isinstance(call, ast.Call)
+            delay = self._delay_of(module, call)
+            if delay is None:
+                continue
+            if isinstance(delay, ast.Call):
+                path = module.dotted_path(delay.func)
+                if path in _INT_RETURNING:
+                    continue
+            if definitely_float(delay, module):
+                yield self.finding(
+                    module, delay,
+                    "float expression used as a delay on the integer-ns "
+                    "clock; apply the round-up policy from repro.units "
+                    "(ns_for_bytes / explicit int round-up)")
+
+    @staticmethod
+    def _delay_of(module: Module, call: ast.Call) -> Optional[ast.AST]:
+        if module.factory_of(call) == "timeout":
+            return _delay_argument(call, 0, "delay")
+        func = call.func
+        if (isinstance(func, ast.Attribute) and func.attr == "_schedule"
+                and module.is_sim_expr(func.value, module.scope_of(call))):
+            return _delay_argument(call, 1, "delay")
+        return None

@@ -147,7 +147,7 @@ class _EthernetFrontEnd:
     def start(self) -> None:
         """Launch transmitter and RX bridge."""
         self.source.start()
-        self.sim.process(self._bridge(), name="rxbridge")
+        _ = self.sim.process(self._bridge(), name="rxbridge")
 
     def _bridge(self):
         cfg = self.config
@@ -303,9 +303,9 @@ class _HostBridgePe:
 
     def start(self) -> None:
         """Launch the DMA engines."""
-        self.sim.process(self._image_loop(), name="bridge.img")
+        _ = self.sim.process(self._image_loop(), name="bridge.img")
         if self.cls_in is not None:
-            self.sim.process(self._cls_loop(), name="bridge.cls")
+            _ = self.sim.process(self._cls_loop(), name="bridge.cls")
 
     def _image_loop(self):
         cfg = self.config
@@ -523,8 +523,8 @@ def _run_gpu(sim: Simulator, config: CaseStudyConfig) -> CaseStudyResult:
     platform.start_all()
     bridge.start()
     front.start()
-    sim.process(collector(), name="gpu.collector")
-    sim.process(inferrer(), name="gpu.inferrer")
+    _ = sim.process(collector(), name="gpu.collector")
+    _ = sim.process(inferrer(), name="gpu.inferrer")
     sim.run_process(_store_records_host(sim, host, driver, bridge, config,
                                         layout, stats))
     util = host.cpu.utilization()

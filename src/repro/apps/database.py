@@ -108,8 +108,8 @@ class DatabaseControllerPe(ProcessingElement):
     def behavior(self):
         # Main process: stream image bodies; a sibling handles headers and
         # a third drains the write responses.
-        self.sim.process(self._classification_loop(), name=f"{self.name}.cls")
-        self.sim.process(self._response_loop(), name=f"{self.name}.resp")
+        _ = self.sim.process(self._classification_loop(), name=f"{self.name}.cls")
+        _ = self.sim.process(self._response_loop(), name=f"{self.name}.resp")
         img: AxiStream = self.port("img")
         wr: AxiStream = self.port("wr")
         while True:

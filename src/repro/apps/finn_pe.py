@@ -124,7 +124,7 @@ class ClassifierPe(ProcessingElement):
                 yield self.sim.timeout(next_start - self.sim.now)
             next_start = self.sim.now + self.ii_ns
             token = Event(self.sim)
-            self.sim.process(self._emit(flit, prev_emit, token),
+            _ = self.sim.process(self._emit(flit, prev_emit, token),
                              name=f"{self.name}.emit")
             prev_emit = token
 

@@ -224,8 +224,8 @@ def ablation_flow_control(n_frames: int = 400) -> ExperimentResult:
                 received[0] += 1
                 yield sim.timeout(3000)
 
-        sim.process(sender())
-        sim.process(consumer())
+        _ = sim.process(sender())
+        _ = sim.process(consumer())
         sim.run(until=n_frames * 4000 + 1_000_000)
         result.add("frames_dropped", label, rx.dropped_frames, "frames")
         result.add("frames_delivered", label, received[0], "frames")

@@ -12,12 +12,12 @@ Reproduces the paper's §5 benchmarks from the *user PE's* point of view:
 
 from __future__ import annotations
 
-from typing import List
+from typing import Any, Generator, Iterator, List, Tuple
 
 import numpy as np
 
 from ..errors import ConfigError
-from ..sim.core import Simulator
+from ..sim.core import Event, Simulator
 from ..units import KiB, gbps_for
 from .stream_adapter import SnaccUserPort
 
@@ -28,7 +28,7 @@ class SnaccRunResult:
     """Outcome of one workload run."""
 
     def __init__(self, total_bytes: int, elapsed_ns: int,
-                 latencies_ns: List[int]):
+                 latencies_ns: List[int]) -> None:
         self.total_bytes = total_bytes
         self.elapsed_ns = elapsed_ns
         self.latencies_ns = latencies_ns
@@ -50,20 +50,22 @@ class SnaccPerf:
     """Drives an initialized SNAcc user port through workloads."""
 
     def __init__(self, sim: Simulator, user: SnaccUserPort,
-                 functional: bool = False):
+                 functional: bool = False) -> None:
         self.sim = sim
         self.user = user
         self.functional = functional
 
     # -- sequential -----------------------------------------------------------
-    def seq_read(self, total_bytes: int, device_addr: int = 0):
+    def seq_read(self, total_bytes: int, device_addr: int = 0,
+                 ) -> Generator[Event, Any, SnaccRunResult]:
         """Generator: one large user read (paper Fig 4a seq-r)."""
         start = self.sim.now
         yield from self.user.issue_read(device_addr, total_bytes)
         yield from self.user.collect_read(functional=self.functional)
         return SnaccRunResult(total_bytes, max(1, self.sim.now - start), [])
 
-    def seq_write(self, total_bytes: int, device_addr: int = 0):
+    def seq_write(self, total_bytes: int, device_addr: int = 0,
+                  ) -> Generator[Event, Any, SnaccRunResult]:
         """Generator: one large user write (paper Fig 4a seq-w)."""
         start = self.sim.now
         yield from self.user.write(device_addr, nbytes=total_bytes)
@@ -71,7 +73,8 @@ class SnaccPerf:
 
     # -- random ---------------------------------------------------------------
     def rand_read(self, total_bytes: int, io_bytes: int = 4 * KiB,
-                  region_bytes: int | None = None, seed: int = 1):
+                  region_bytes: int | None = None, seed: int = 1,
+                  ) -> Generator[Event, Any, SnaccRunResult]:
         """Generator: independent random reads (paper Fig 4b rand-r).
 
         Commands are issued as fast as the streamer accepts them; a
@@ -81,40 +84,43 @@ class SnaccPerf:
                                         region_bytes, seed)
         start = self.sim.now
 
-        def issuer():
+        def issuer() -> Iterator[Event]:
             for a in addrs:
                 yield from self.user.issue_read(int(a), io_bytes)
 
-        def collector():
+        def collector() -> Iterator[Event]:
             for _ in range(n_ios):
                 yield from self.user.collect_read(functional=self.functional)
 
         done = self.sim.process(collector())
-        self.sim.process(issuer())
+        _ = self.sim.process(issuer())
         yield done
         return SnaccRunResult(total_bytes, max(1, self.sim.now - start), [])
 
     def rand_write(self, total_bytes: int, io_bytes: int = 4 * KiB,
-                   region_bytes: int | None = None, seed: int = 1):
+                   region_bytes: int | None = None, seed: int = 1,
+                   ) -> Generator[Event, Any, SnaccRunResult]:
         """Generator: independent random writes (paper Fig 4b rand-w)."""
         n_ios, addrs = self._rand_addrs(total_bytes, io_bytes,
                                         region_bytes, seed)
         start = self.sim.now
 
-        def issuer():
+        def issuer() -> Iterator[Event]:
             for a in addrs:
                 yield from self.user.issue_write(int(a), nbytes=io_bytes)
 
-        def collector():
+        def collector() -> Iterator[Event]:
             for _ in range(n_ios):
                 yield from self.user.collect_write_response()
 
         done = self.sim.process(collector())
-        self.sim.process(issuer())
+        _ = self.sim.process(issuer())
         yield done
         return SnaccRunResult(total_bytes, max(1, self.sim.now - start), [])
 
-    def _rand_addrs(self, total_bytes, io_bytes, region_bytes, seed):
+    def _rand_addrs(self, total_bytes: int, io_bytes: int,
+                    region_bytes: int | None, seed: int,
+                    ) -> Tuple[int, "np.ndarray"]:
         if total_bytes % io_bytes:
             raise ConfigError(
                 f"total {total_bytes} not a multiple of io size {io_bytes}")
@@ -126,7 +132,8 @@ class SnaccPerf:
 
     # -- latency -----------------------------------------------------------------
     def read_latency(self, samples: int = 10, io_bytes: int = 4 * KiB,
-                     region_bytes: int | None = None, seed: int = 2):
+                     region_bytes: int | None = None, seed: int = 2,
+                     ) -> Generator[Event, Any, List[int]]:
         """Generator: QD-1 read latencies, PE command to last data beat."""
         _, addrs = self._rand_addrs(samples * io_bytes, io_bytes,
                                     region_bytes, seed)
@@ -139,7 +146,8 @@ class SnaccPerf:
         return out
 
     def write_latency(self, samples: int = 10, io_bytes: int = 4 * KiB,
-                      region_bytes: int | None = None, seed: int = 3):
+                      region_bytes: int | None = None, seed: int = 3,
+                      ) -> Generator[Event, Any, List[int]]:
         """Generator: QD-1 write latencies, PE command to response token."""
         _, addrs = self._rand_addrs(samples * io_bytes, io_bytes,
                                     region_bytes, seed)

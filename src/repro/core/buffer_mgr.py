@@ -15,7 +15,7 @@ rather than a ring.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from ..errors import StreamerError
 from ..sim.core import Event, Simulator
@@ -29,7 +29,7 @@ _ALIGN = 4 * KiB
 class ExtentAllocator:
     """First-fit contiguous allocator over ``[0, capacity)``, 4 KiB grains."""
 
-    def __init__(self, sim: Simulator, capacity: int, name: str = "buf"):
+    def __init__(self, sim: Simulator, capacity: int, name: str = "buf") -> None:
         if capacity < _ALIGN or capacity % _ALIGN:
             raise StreamerError(
                 f"capacity must be a 4 KiB multiple >= 4 KiB, got {capacity}")
@@ -71,7 +71,7 @@ class ExtentAllocator:
                 return off
         return None
 
-    def allocate(self, nbytes: int):
+    def allocate(self, nbytes: int) -> Generator[Event, Any, int]:
         """Generator: allocate, blocking until space is available."""
         while True:
             off = self.try_allocate(nbytes)

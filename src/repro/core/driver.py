@@ -19,14 +19,14 @@ After :meth:`initialize` returns, the host is out of the loop entirely.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Generator, Optional
 
 from ..errors import NVMeError
 from ..mem.hostmem import PinnedAllocator
 from ..nvme.admin import AdminQueueClient
 from ..nvme.device import NVME_BAR_SIZE, NvmeDevice
 from ..pcie.root_complex import PcieFabric
-from ..sim.core import Simulator
+from ..sim.core import Event, Simulator
 from .config import StreamerVariant
 from .streamer import NvmeStreamer
 
@@ -38,7 +38,7 @@ class SnaccDriver:
 
     def __init__(self, sim: Simulator, fabric: PcieFabric, ssd: NvmeDevice,
                  streamer: NvmeStreamer, allocator: PinnedAllocator,
-                 host_mem_base: int, io_qid: int = 1):
+                 host_mem_base: int, io_qid: int = 1) -> None:
         self.sim = sim
         self.fabric = fabric
         self.ssd = ssd
@@ -51,7 +51,7 @@ class SnaccDriver:
         self.identify_data: Optional[bytes] = None
         self.initialized = False
 
-    def initialize(self):
+    def initialize(self) -> Generator[Event, Any, None]:
         """Generator: full bring-up; afterwards the FPGA runs autonomously."""
         if self.initialized:
             raise NVMeError("SNAcc driver already initialized")

@@ -20,7 +20,7 @@ Two schemes:
 from __future__ import annotations
 
 import struct
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from ..errors import StreamerError
 from ..units import PAGE, align_down, is_aligned
@@ -35,7 +35,7 @@ def _pack_entries(entries: List[int]) -> bytes:
 class UramPrpEngine:
     """Bit-mirror scheme over a power-of-two URAM buffer window."""
 
-    def __init__(self, window_base: int, buffer_bytes: int):
+    def __init__(self, window_base: int, buffer_bytes: int) -> None:
         if buffer_bytes & (buffer_bytes - 1):
             raise StreamerError(
                 f"URAM buffer must be a power of two, got {buffer_bytes}")
@@ -53,7 +53,8 @@ class UramPrpEngine:
         """Total BAR window: data half plus PRP mirror half."""
         return 2 * self.buffer_bytes
 
-    def entries_for(self, buf_offset: int, npages: int, slot: int = 0):
+    def entries_for(self, buf_offset: int, npages: int,
+                    slot: int = 0) -> Tuple[int, int]:
         """(prp1, prp2) for a command at *buf_offset* spanning *npages*."""
         if not is_aligned(buf_offset, PAGE):
             raise StreamerError(f"buffer offset {buf_offset:#x} not page aligned")
@@ -90,7 +91,7 @@ class UramPrpEngine:
 class RegfilePrpEngine:
     """Register-file scheme: per-slot second-page records, separate window."""
 
-    def __init__(self, prp_window_base: int, nslots: int):
+    def __init__(self, prp_window_base: int, nslots: int) -> None:
         if nslots < 1:
             raise StreamerError(f"nslots must be >= 1, got {nslots}")
         self.prp_window_base = prp_window_base
@@ -104,7 +105,8 @@ class RegfilePrpEngine:
         return self.nslots * PAGE
 
     def entries_for(self, buf_offset: int, npages: int, slot: int = 0,
-                    translate: Optional[Callable[[int], int]] = None):
+                    translate: Optional[Callable[[int], int]] = None,
+                    ) -> Tuple[int, int]:
         """(prp1, prp2); records the slot's second page in the register file.
 
         *translate* maps a logical buffer offset to a bus address: the

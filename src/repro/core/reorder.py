@@ -19,7 +19,7 @@ unblocking its ring slot for new issues.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Generator, List, Optional
 
 from ..errors import StreamerError
 from ..sim.core import Event, Simulator
@@ -56,7 +56,7 @@ class ReorderBuffer:
     """Fixed ring of command slots; completion bits set OoO, retired in order."""
 
     def __init__(self, sim: Simulator, depth: int, name: str = "rob",
-                 out_of_order: bool = False):
+                 out_of_order: bool = False) -> None:
         if depth < 1 or depth & (depth - 1):
             raise StreamerError(
                 f"ROB depth must be a power of two >= 1, got {depth}")
@@ -102,7 +102,7 @@ class ReorderBuffer:
         self._issue_seq += 1
         return entry.cid
 
-    def allocate(self, entry: RobEntry):
+    def allocate(self, entry: RobEntry) -> Generator[Event, Any, int]:
         """Generator: claim the next slot (blocks while the window is full)."""
         while True:
             cid = self.try_allocate(entry)
@@ -126,7 +126,7 @@ class ReorderBuffer:
         kick.succeed()
 
     # -- retire side ------------------------------------------------------------------
-    def pop_next(self):
+    def pop_next(self) -> Generator[Event, Any, RobEntry]:
         """Generator: wait for and claim the next retirable entry.
 
         In-order mode: strictly the oldest live command.  Out-of-order

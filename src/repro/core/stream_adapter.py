@@ -15,14 +15,14 @@ study's database controller) drive the same four streams directly.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Any, Generator, Iterator, List, Optional, Union
 
 import numpy as np
 
 from ..errors import StreamerError
 from ..fpga.axi import AxiStream, StreamFlit
 from ..mem.base import as_bytes_array
-from ..sim.core import Simulator
+from ..sim.core import Event, Simulator
 
 __all__ = ["read_command_flit", "write_command_flit", "data_flits",
            "SnaccUserPort"]
@@ -65,7 +65,7 @@ class SnaccUserPort:
 
     def __init__(self, sim: Simulator, rd_cmd: AxiStream, rd_data: AxiStream,
                  wr: AxiStream, wr_resp: AxiStream,
-                 chunk_bytes: int = 32 * 1024):
+                 chunk_bytes: int = 32 * 1024) -> None:
         self.sim = sim
         self.rd_cmd = rd_cmd
         self.rd_data = rd_data
@@ -74,11 +74,12 @@ class SnaccUserPort:
         self.chunk_bytes = chunk_bytes
 
     # -- reads ------------------------------------------------------------------
-    def issue_read(self, device_addr: int, nbytes: int):
+    def issue_read(self, device_addr: int, nbytes: int) -> Iterator[Event]:
         """Generator: send a read command (data collected separately)."""
         yield from self.rd_cmd.send(read_command_flit(device_addr, nbytes))
 
-    def collect_read(self, functional: bool = True):
+    def collect_read(self, functional: bool = True,
+                     ) -> Generator[Event, Any, Union[np.ndarray, int]]:
         """Generator: receive one user read's data (until TLAST).
 
         Returns the payload array (or just the byte count when
@@ -100,15 +101,16 @@ class SnaccUserPort:
             return np.concatenate(chunks)
         return total
 
-    def read(self, device_addr: int, nbytes: int, functional: bool = True):
+    def read(self, device_addr: int, nbytes: int, functional: bool = True,
+             ) -> Generator[Event, Any, Union[np.ndarray, int]]:
         """Generator: blocking read; returns payload (or byte count)."""
         yield from self.issue_read(device_addr, nbytes)
         result = yield from self.collect_read(functional=functional)
         return result
 
     # -- writes ------------------------------------------------------------------
-    def issue_write(self, device_addr: int, data=None,
-                    nbytes: Optional[int] = None):
+    def issue_write(self, device_addr: int, data: Any = None,
+                    nbytes: Optional[int] = None) -> Iterator[Event]:
         """Generator: send address beat + payload (response collected later)."""
         arr = None
         if data is not None:
@@ -120,7 +122,7 @@ class SnaccUserPort:
         for flit in data_flits(nbytes, arr, self.chunk_bytes):
             yield from self.wr.send(flit)
 
-    def collect_write_response(self):
+    def collect_write_response(self) -> Generator[Event, Any, StreamFlit]:
         """Generator: wait for one write-response token; raises on error."""
         flit = yield from self.wr_resp.recv()
         status = flit.meta.get("status", 0)
@@ -128,7 +130,8 @@ class SnaccUserPort:
             raise StreamerError(f"write failed with NVMe status {status:#x}")
         return flit
 
-    def write(self, device_addr: int, data=None, nbytes: Optional[int] = None):
+    def write(self, device_addr: int, data: Any = None,
+              nbytes: Optional[int] = None) -> Generator[Event, Any, None]:
         """Generator: blocking write of *data* (or sized-only *nbytes*)."""
         yield from self.issue_write(device_addr, data=data, nbytes=nbytes)
         yield from self.collect_write_response()

@@ -17,7 +17,7 @@ One streamer instance orchestrates all NVMe access for a user PE:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Generator, List, Optional, Tuple
 
 import numpy as np
 
@@ -32,7 +32,7 @@ from ..nvme.device import NvmeDevice
 from ..nvme.queues import doorbell_offset
 from ..nvme.spec import CQE_BYTES, IoOpcode, SQE_BYTES, StatusCode
 from ..pcie.root_complex import BarHandler
-from ..sim.core import Event, Simulator
+from ..sim.core import Event, Process, Simulator
 from ..sim.resources import Resource
 from ..units import KiB, PAGE
 from .buffer_mgr import ExtentAllocator
@@ -60,14 +60,16 @@ class StreamerStats:
 class _SqWindowHandler(BarHandler):
     """The SQ FIFO: the controller fetches SQEs from this window (②)."""
 
-    def __init__(self, streamer: "NvmeStreamer"):
+    def __init__(self, streamer: "NvmeStreamer") -> None:
         self.streamer = streamer
 
-    def bar_read(self, offset, nbytes, functional=True):
+    def bar_read(self, offset: int, nbytes: int, functional: bool = True,
+                 ) -> Generator[Event, Any, Optional[np.ndarray]]:
         yield self.streamer.sim.timeout(30)  # FIFO RAM access at 300 MHz
         return self.streamer._sq_mem.read(offset, nbytes)
 
-    def bar_write(self, offset, data=None, nbytes=None):
+    def bar_write(self, offset: int, data: Optional[np.ndarray] = None,
+                  nbytes: Optional[int] = None) -> Generator[Event, Any, None]:
         raise StreamerError("SQ window is read-only for the fabric")
         yield  # pragma: no cover
 
@@ -75,14 +77,16 @@ class _SqWindowHandler(BarHandler):
 class _CqWindowHandler(BarHandler):
     """The completion region: controller CQE writes feed the ROB (⑤)."""
 
-    def __init__(self, streamer: "NvmeStreamer"):
+    def __init__(self, streamer: "NvmeStreamer") -> None:
         self.streamer = streamer
 
-    def bar_read(self, offset, nbytes, functional=True):
+    def bar_read(self, offset: int, nbytes: int, functional: bool = True,
+                 ) -> Generator[Event, Any, Optional[np.ndarray]]:
         yield self.streamer.sim.timeout(30)
         return self.streamer._cq_mem.read(offset, nbytes)
 
-    def bar_write(self, offset, data=None, nbytes=None):
+    def bar_write(self, offset: int, data: Optional[np.ndarray] = None,
+                  nbytes: Optional[int] = None) -> Generator[Event, Any, None]:
         if data is None:
             raise StreamerError("CQE writes must carry data")
         yield self.streamer.sim.timeout(30)
@@ -96,10 +100,11 @@ class _CqWindowHandler(BarHandler):
 class _UramWindowHandler(BarHandler):
     """Fig 2: lower half is the URAM data buffer, upper half the PRP mirror."""
 
-    def __init__(self, streamer: "NvmeStreamer"):
+    def __init__(self, streamer: "NvmeStreamer") -> None:
         self.streamer = streamer
 
-    def bar_read(self, offset, nbytes, functional=True):
+    def bar_read(self, offset: int, nbytes: int, functional: bool = True,
+                 ) -> Generator[Event, Any, Optional[np.ndarray]]:
         st = self.streamer
         if offset >= st.config.uram_buffer_bytes:
             yield st.sim.timeout(30)  # combinational synthesis + register
@@ -110,7 +115,8 @@ class _UramWindowHandler(BarHandler):
                                               functional=functional)
         return data
 
-    def bar_write(self, offset, data=None, nbytes=None):
+    def bar_write(self, offset: int, data: Optional[np.ndarray] = None,
+                  nbytes: Optional[int] = None) -> Generator[Event, Any, None]:
         st = self.streamer
         if offset >= st.config.uram_buffer_bytes:
             raise StreamerError("PRP mirror is read-only")
@@ -124,11 +130,12 @@ class _DramWindowHandler(BarHandler):
     logic joins the controller's small PCIe reads into 4 KiB DRAM bursts.
     """
 
-    def __init__(self, streamer: "NvmeStreamer", region_base: int):
+    def __init__(self, streamer: "NvmeStreamer", region_base: int) -> None:
         self.streamer = streamer
         self.region_base = region_base
 
-    def _split(self, offset, nbytes):
+    def _split(self, offset: int, nbytes: int,
+               ) -> Generator[Tuple[int, int], None, None]:
         step = self.streamer.config.dram_access_bytes
         pos = 0
         while pos < nbytes:
@@ -136,7 +143,8 @@ class _DramWindowHandler(BarHandler):
             yield offset + pos, take
             pos += take
 
-    def bar_read(self, offset, nbytes, functional=True):
+    def bar_read(self, offset: int, nbytes: int, functional: bool = True,
+                 ) -> Generator[Event, Any, Optional[np.ndarray]]:
         st = self.streamer
         parts = []
         for off, take in self._split(offset, nbytes):
@@ -146,7 +154,8 @@ class _DramWindowHandler(BarHandler):
                 parts.append(data)
         return np.concatenate(parts) if parts else None
 
-    def bar_write(self, offset, data=None, nbytes=None):
+    def bar_write(self, offset: int, data: Optional[np.ndarray] = None,
+                  nbytes: Optional[int] = None) -> Generator[Event, Any, None]:
         st = self.streamer
         total = nbytes if nbytes is not None else len(data)
         for off, take in self._split(offset, total):
@@ -162,15 +171,17 @@ class _DramWindowHandler(BarHandler):
 class _PrpWindowHandler(BarHandler):
     """Fig 3: synthetic PRP list window backed by the register file."""
 
-    def __init__(self, streamer: "NvmeStreamer"):
+    def __init__(self, streamer: "NvmeStreamer") -> None:
         self.streamer = streamer
 
-    def bar_read(self, offset, nbytes, functional=True):
+    def bar_read(self, offset: int, nbytes: int, functional: bool = True,
+                 ) -> Generator[Event, Any, Optional[np.ndarray]]:
         yield self.streamer.sim.timeout(30)
         raw = self.streamer._prp_rf.synth_read(offset, nbytes)
         return np.frombuffer(raw, dtype=np.uint8).copy()
 
-    def bar_write(self, offset, data=None, nbytes=None):
+    def bar_write(self, offset: int, data: Optional[np.ndarray] = None,
+                  nbytes: Optional[int] = None) -> Generator[Event, Any, None]:
         raise StreamerError("PRP window is read-only")
         yield  # pragma: no cover
 
@@ -183,7 +194,7 @@ class NvmeStreamer:
                  ssd: NvmeDevice, config: StreamerConfig,
                  pinned_allocator: Optional[PinnedAllocator] = None,
                  host_mem_base: int = 0,
-                 name: str = "snacc"):
+                 name: str = "snacc") -> None:
         config.validate()
         self.sim = sim
         self.platform = platform
@@ -325,9 +336,9 @@ class NvmeStreamer:
             raise StreamerError(
                 f"{self.name}: doorbell not programmed; run the host driver")
         self._started = True
-        self.sim.process(self._read_ingress(), name=f"{self.name}.rd_in")
-        self.sim.process(self._write_ingress(), name=f"{self.name}.wr_in")
-        self.sim.process(self._retire(), name=f"{self.name}.retire")
+        _ = self.sim.process(self._read_ingress(), name=f"{self.name}.rd_in")
+        _ = self.sim.process(self._write_ingress(), name=f"{self.name}.wr_in")
+        _ = self.sim.process(self._retire(), name=f"{self.name}.retire")
 
     # --------------------------------------------------------- buffer plumbing
     def _bus_page_addr(self, kind: str, buf_offset: int) -> int:
@@ -342,7 +353,7 @@ class NvmeStreamer:
         return buf.translate(buf_offset)
 
     def _prp_for(self, kind: str, buf_offset: int, npages: int,
-                 slot: int):
+                 slot: int) -> Tuple[int, int]:
         cfg = self.config
         if cfg.variant == StreamerVariant.URAM:
             return self._prp_uram.entries_for(buf_offset, npages)
@@ -356,7 +367,7 @@ class NvmeStreamer:
                                         translate=buf.translate)
 
     def _fill(self, kind: str, buf_offset: int, nbytes: int,
-              data: Optional[np.ndarray]):
+              data: Optional[np.ndarray]) -> Generator[Event, Any, None]:
         """Generator: move PE payload into the data buffer (write path)."""
         cfg = self.config
         if cfg.variant == StreamerVariant.URAM:
@@ -384,7 +395,7 @@ class NvmeStreamer:
                 pos += span.size
 
     def _drain(self, kind: str, buf_offset: int, nbytes: int,
-               functional: bool):
+               functional: bool) -> Generator[Event, Any, Optional[np.ndarray]]:
         """Generator: move buffer payload toward the PE (read path).
 
         The drain engine keeps multiple outstanding reads in flight (like a
@@ -425,7 +436,8 @@ class NvmeStreamer:
         return None
 
     def _drain_chunk(self, src: str, addr: int, nbytes: int,
-                     functional: bool, results: list, idx: int):
+                     functional: bool, results: List[Optional[np.ndarray]],
+                     idx: int) -> Generator[Event, Any, None]:
         if src == "dram":
             data = yield from self.platform.dram.timed_read(
                 addr, nbytes, functional=functional)
@@ -435,7 +447,7 @@ class NvmeStreamer:
         results[idx] = data
 
     # ------------------------------------------------------------- submission
-    def _submit(self, entry: RobEntry):
+    def _submit(self, entry: RobEntry) -> Generator[Event, Any, None]:
         """Generator: claim a ROB slot, build the SQE, ring the doorbell."""
         yield self.sim.timeout(self.config.cmd_process_ns)
         cid = yield from self.rob.allocate(entry)
@@ -468,10 +480,10 @@ class NvmeStreamer:
         if (not self._cq_db_active
                 and self._cqes_seen - self._cq_db_rung >= self.CQ_DOORBELL_BATCH):
             self._cq_db_active = True
-            self.sim.process(self._ring_cq_doorbell(),
+            _ = self.sim.process(self._ring_cq_doorbell(),
                              name=f"{self.name}.cqdb")
 
-    def _ring_cq_doorbell(self):
+    def _ring_cq_doorbell(self) -> Generator[Event, Any, None]:
         while self._cqes_seen - self._cq_db_rung >= self.CQ_DOORBELL_BATCH:
             self._cq_db_rung = self._cqes_seen
             head = self._cq_db_rung % self.cq_entries
@@ -480,7 +492,7 @@ class NvmeStreamer:
         self._cq_db_active = False
 
     # ---------------------------------------------------------------- ingress
-    def _read_ingress(self):
+    def _read_ingress(self) -> Generator[Event, Any, None]:
         while True:
             flit = yield from self.rd_cmd.recv()
             addr, length = flit.meta["addr"], flit.meta["len"]
@@ -502,7 +514,7 @@ class NvmeStreamer:
                                  user_last=seg.last, user_id=uid)
                 yield from self._submit(entry)
 
-    def _write_ingress(self):
+    def _write_ingress(self) -> Generator[Event, Any, None]:
         # Fills are posted: the ingress hands each flit's buffer write to a
         # background process and keeps consuming the stream.  A segment's
         # NVMe command is submitted once all its fills have landed, chained
@@ -569,20 +581,21 @@ class NvmeStreamer:
                                  nbytes=filled, buf_offset=buf_off,
                                  user_last=finished, user_id=uid)
                 token = Event(self.sim)
-                self.sim.process(
+                _ = self.sim.process(
                     self._submit_when_filled(entry, fills, prev_submit, token),
                     name=f"{self.name}.wsub")
                 prev_submit = token
                 addr += filled
 
-    def _bounded_fill(self, buf_offset: int, nbytes: int, chunk):
+    def _bounded_fill(self, buf_offset: int, nbytes: int,
+                      chunk: Optional[np.ndarray]) -> Generator[Event, Any, None]:
         try:
             yield from self._fill("write", buf_offset, nbytes, chunk)
         finally:
             self._fill_credits.release()
 
-    def _submit_when_filled(self, entry: RobEntry, fills, prev_submit: Event,
-                            token: Event):
+    def _submit_when_filled(self, entry: RobEntry, fills: List[Process],
+                            prev_submit: Event, token: Event) -> Generator[Event, Any, None]:
         """Paper §4.2: 'Write commands ... are forwarded to the NVMe device
         as soon as all data from the user PE has been received and
         buffered'.
@@ -600,7 +613,7 @@ class NvmeStreamer:
         token.succeed()
 
     # ----------------------------------------------------------------- retire
-    def _retire(self):
+    def _retire(self) -> Generator[Event, Any, None]:
         prev_done = Event(self.sim)
         prev_done.succeed()
         while True:
@@ -611,16 +624,17 @@ class NvmeStreamer:
                 self._prp_rf.release(entry.cid % self.config.queue_depth)
             my_done = Event(self.sim)
             if entry.kind == "read":
-                self.sim.process(
+                _ = self.sim.process(
                     self._finish_read(entry, prev_done, my_done),
                     name=f"{self.name}.drain{entry.cid}")
             else:
-                self.sim.process(
+                _ = self.sim.process(
                     self._finish_write(entry, prev_done, my_done),
                     name=f"{self.name}.wres{entry.cid}")
             prev_done = my_done
 
-    def _finish_read(self, entry: RobEntry, prev_done: Event, my_done: Event):
+    def _finish_read(self, entry: RobEntry, prev_done: Event,
+                     my_done: Event) -> Generator[Event, Any, None]:
         cfg = self.config
         if not entry.ok:
             self.stats.errors += 1
@@ -653,7 +667,7 @@ class NvmeStreamer:
         self._read_alloc.free(entry.buf_offset)
 
     def _finish_write(self, entry: RobEntry, prev_done: Event,
-                      my_done: Event):
+                      my_done: Event) -> Generator[Event, Any, None]:
         yield prev_done
         if not entry.ok:
             self.stats.errors += 1

@@ -91,7 +91,7 @@ class EthernetMac:
         finally:
             self._tx.release()
         self.tx_frames += 1
-        self.sim.process(self._propagate(frame), name=f"{self.name}.prop")
+        _ = self.sim.process(self._propagate(frame), name=f"{self.name}.prop")
 
     def _propagate(self, frame: EthernetFrame):
         yield self.sim.timeout(self.propagation_ns)
@@ -100,7 +100,7 @@ class EthernetMac:
     def _send_control(self, quanta: int) -> None:
         """Control frames bypass the data queue (sent between data frames)."""
         self.pause_frames_sent += 1
-        self.sim.process(self._control_tx(quanta), name=f"{self.name}.ctl")
+        _ = self.sim.process(self._control_tx(quanta), name=f"{self.name}.ctl")
 
     def _control_tx(self, quanta: int):
         yield self.sim.timeout(

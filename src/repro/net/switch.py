@@ -41,9 +41,9 @@ class EthernetSwitch:
         if self._started:
             return
         self._started = True
-        self.sim.process(self._forward(self.port_a, self.port_b),
+        _ = self.sim.process(self._forward(self.port_a, self.port_b),
                          name=f"{self.name}.a2b")
-        self.sim.process(self._forward(self.port_b, self.port_a),
+        _ = self.sim.process(self._forward(self.port_b, self.port_a),
                          name=f"{self.name}.b2a")
 
     def _forward(self, rx: EthernetMac, tx: EthernetMac):

@@ -214,7 +214,7 @@ class NvmeController(BarHandler):
                     sqe = SubmissionEntry.unpack(
                         bytes(raw[i * SQE_BYTES:(i + 1) * SQE_BYTES]))
                     yield self._exec_credits.acquire()
-                    self.sim.process(self._exec(sqe, sq),
+                    _ = self.sim.process(self._exec(sqe, sq),
                                      name=f"{self.name}.cmd{sqe.cid}")
         except Interrupt:
             return  # queue deleted

@@ -23,7 +23,8 @@ Example
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, Optional
+import operator
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 from ..errors import SimulationError
 
@@ -51,11 +52,11 @@ class Event:
 
     __slots__ = ("sim", "_value", "_callbacks", "_exc")
 
-    def __init__(self, sim: "Simulator"):
+    def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
         self._value: Any = _PENDING
         self._exc: Optional[BaseException] = None
-        self._callbacks: Optional[list] = []
+        self._callbacks: Optional[List[Callable[["Event"], None]]] = []
 
     @property
     def triggered(self) -> bool:
@@ -134,7 +135,16 @@ class Timeout(Event):
 
     __slots__ = ("delay", "_timeout_value")
 
-    def __init__(self, sim: "Simulator", delay: int, value: Any = None):
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None) -> None:
+        try:
+            # The clock is integer ns: accept anything integral (int, np.int64)
+            # and reject floats at the source — see repro.units rounding policy.
+            delay = operator.index(delay)
+        except TypeError:
+            raise TypeError(
+                f"timeout delay must be an integer ns count, got "
+                f"{delay!r}; apply the round-up policy from repro.units "
+                f"(ns_for_bytes / ns_ceil)") from None
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
         super().__init__(sim)
@@ -154,7 +164,7 @@ class Interrupt(Exception):
     :meth:`Process.interrupt`.
     """
 
-    def __init__(self, cause: Any = None):
+    def __init__(self, cause: Any = None) -> None:
         super().__init__(cause)
         self.cause = cause
 
@@ -180,7 +190,7 @@ class Process(Event):
 
     __slots__ = ("_gen", "_waiting_on", "name")
 
-    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = "") -> None:
         super().__init__(sim)
         if not hasattr(gen, "send"):
             raise TypeError(f"process body must be a generator, got {gen!r}")
@@ -282,7 +292,8 @@ class Condition(Event):
 
     __slots__ = ("_events", "_mode", "_remaining")
 
-    def __init__(self, sim: "Simulator", events: Iterable[Event], mode: str = "all"):
+    def __init__(self, sim: "Simulator", events: Iterable[Event],
+                 mode: str = "all") -> None:
         super().__init__(sim)
         if mode not in ("all", "any"):
             raise ValueError(f"mode must be 'all' or 'any', got {mode!r}")
@@ -313,11 +324,11 @@ class Condition(Event):
 class Simulator:
     """The event loop: clock, heap scheduler, and process factory."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._now: int = 0
-        self._heap: list = []
+        self._heap: List[Tuple[int, int, Event]] = []
         self._seq: int = 0
-        self._crashed: list = []
+        self._crashed: List[Tuple[Process, BaseException]] = []
         #: hook invoked as ``trace(time, event)`` for every processed event
         self.trace_hook: Optional[Callable[[int, Event], None]] = None
 
@@ -349,8 +360,9 @@ class Simulator:
 
     # -- scheduling ---------------------------------------------------------
     def _schedule(self, event: Event, delay: int = 0) -> None:
+        when = self._now + operator.index(delay)
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+        heapq.heappush(self._heap, (when, self._seq, event))
 
     def step(self) -> None:
         """Process the next scheduled event."""
@@ -366,20 +378,24 @@ class Simulator:
     def run(self, until: Optional[int] = None) -> None:
         """Run until the heap drains, or until time *until* (ns) is reached.
 
-        Raises the first exception that escaped a process, if any.
+        On return the clock reads ``max(now, until)`` whether the loop
+        drained the heap or stopped in front of a future event — ``until``
+        in the past never moves the clock backwards.  An event scheduled
+        exactly at *until* is still processed.  Raises the first exception
+        that escaped a process, if any.
         """
         while self._heap:
             if until is not None and self._heap[0][0] > until:
-                self._now = until
                 break
             self.step()
             if self._crashed:
                 proc, exc = self._crashed.pop(0)
                 raise SimulationError(
                     f"process {proc.name!r} crashed at t={self._now}") from exc
-        else:
-            if until is not None and until > self._now:
-                self._now = until
+        # Single clock-advance policy for both exit paths (drained heap and
+        # break-before-future-event): advance to `until`, never backwards.
+        if until is not None and until > self._now:
+            self._now = until
 
     def run_until(self, event: Event, until: Optional[int] = None) -> None:
         """Run until *event* triggers (or the heap drains / time *until*).
@@ -390,7 +406,8 @@ class Simulator:
         """
         while self._heap and not event.triggered:
             if until is not None and self._heap[0][0] > until:
-                self._now = until
+                if until > self._now:
+                    self._now = until
                 return
             self.step()
             if self._crashed:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from typing import Any, Deque, Optional
+from typing import Any, Deque, Iterator, Optional, Tuple
 
 from ..errors import SimulationError
 from .core import Event, Simulator
@@ -41,7 +41,8 @@ class Store:
     [0, 1, 2]
     """
 
-    def __init__(self, sim: Simulator, capacity: Optional[int] = None, name: str = ""):
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None,
+                 name: str = "") -> None:
         if capacity is not None and capacity < 1:
             raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
         self.sim = sim
@@ -49,7 +50,7 @@ class Store:
         self.name = name
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
-        self._putters: Deque[tuple] = deque()  # (event, item)
+        self._putters: Deque[Tuple[Event, Any]] = deque()  # (event, item)
 
     def __len__(self) -> int:
         return len(self._items)
@@ -94,7 +95,7 @@ class Store:
             self._getters.append(ev)
         return ev
 
-    def try_get(self) -> tuple:
+    def try_get(self) -> Tuple[bool, Any]:
         """Non-blocking get; returns ``(ok, item)``."""
         if not self._items:
             return False, None
@@ -127,7 +128,7 @@ class Resource:
             resource.release()
     """
 
-    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "") -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.sim = sim
@@ -174,7 +175,8 @@ class TokenBucket:
     fine-grained serialization model would be too slow.
     """
 
-    def __init__(self, sim: Simulator, rate_gbps: float, burst: int, name: str = ""):
+    def __init__(self, sim: Simulator, rate_gbps: float, burst: int,
+                 name: str = "") -> None:
         if rate_gbps <= 0:
             raise ValueError(f"rate must be > 0, got {rate_gbps}")
         if burst < 1:
@@ -192,7 +194,7 @@ class TokenBucket:
         self._tokens = min(self.burst, self._tokens + (now - self._last) * self.rate)
         self._last = now
 
-    def consume(self, nbytes: int):
+    def consume(self, nbytes: int) -> Iterator[Event]:
         """Process body: waits until *nbytes* tokens are available, then takes them."""
         if nbytes < 0:
             raise ValueError(f"nbytes must be >= 0, got {nbytes}")

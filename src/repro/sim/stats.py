@@ -71,7 +71,7 @@ class BandwidthMeter:
     record) to the last record.
     """
 
-    def __init__(self, name: str = ""):
+    def __init__(self, name: str = "") -> None:
         self.name = name
         self.total_bytes = 0
         self.first_ns: Optional[int] = None

@@ -31,7 +31,7 @@ class TraceRecord:
 class Tracer:
     """Ring buffer of :class:`TraceRecord` with optional per-record sink."""
 
-    def __init__(self, capacity: int = 65536, enabled: bool = False):
+    def __init__(self, capacity: int = 65536, enabled: bool = False) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.enabled = enabled

@@ -6,9 +6,25 @@ second) and converted to per-byte serialization delays with :func:`ns_for_bytes`
 
 Sizes follow the NVMe convention: addresses and buffer sizes are binary
 (KiB/MiB), reported bandwidths are decimal (GB/s), mirroring the paper.
+
+Rounding policy
+---------------
+The kernel clock is integer nanoseconds and the kernel rejects float
+delays outright (:class:`repro.sim.core.Timeout` coerces via
+``operator.index``).  Whenever real-valued math produces a duration, it is
+rounded **up** to the next whole nanosecond before reaching the kernel —
+never truncated, never round-half-even.  Round-up is the single policy
+because it is conservative for every quantity we model: a link never
+exceeds its nominal bandwidth, a controller never beats its service time,
+and latencies are never under-reported.  :func:`ns_for_bytes` (bandwidth
+to serialization delay) and :func:`ns_ceil` (any float duration) are the
+two blessed conversion points; snacclint rule SIM003 flags float
+expressions that try to reach ``sim.timeout(...)`` by any other route.
 """
 
 from __future__ import annotations
+
+import math
 
 # --- sizes (binary) ---------------------------------------------------------
 KiB = 1024
@@ -44,6 +60,23 @@ def ns_for_bytes(nbytes: int, gbps: float) -> int:
         raise ValueError(f"bandwidth must be > 0, got {gbps}")
     # ns = bytes / (GB/s) * 1e9 / 1e9 = bytes / gbps  (since 1 GB = 1e9 B)
     return -(-nbytes * SEC // int(gbps * SEC))
+
+
+def ns_ceil(duration_ns: float) -> int:
+    """Round a real-valued duration up to integer nanoseconds.
+
+    The blessed conversion for float durations that must reach the integer
+    kernel clock (see the module-level rounding policy).  Exact integers
+    pass through unchanged.
+
+    >>> ns_ceil(10.0)
+    10
+    >>> ns_ceil(10.25)
+    11
+    """
+    if duration_ns < 0:
+        raise ValueError(f"duration must be >= 0, got {duration_ns}")
+    return math.ceil(duration_ns)
 
 
 def gbps_for(nbytes: int, elapsed_ns: int) -> float:

@@ -1,0 +1,3 @@
+"""Deliberately unparsable: drives the exit-code-2 path."""
+
+def broken(:

@@ -1,0 +1,27 @@
+"""Deliberately hazardous: SIM001 (discarded factory results).
+
+Never imported and never analyzed by the tree-wide gate (the engine skips
+``fixtures`` directories); tests point the analyzer at this file directly.
+"""
+
+sim = get_simulator()  # noqa: F821  # HAZARD-FREE line
+
+
+def leak_timeout() -> None:
+    sim.timeout(5)  # HAZARD SIM001
+
+
+def leak_event() -> None:
+    sim.event()  # HAZARD SIM001
+
+
+def leak_process() -> None:
+    sim.process(leak_timeout())  # HAZARD SIM001
+
+
+def ok_bound() -> None:
+    _ = sim.timeout(5)
+
+
+def ok_suppressed() -> None:
+    sim.timeout(5)  # snacclint: disable=SIM001

@@ -1,0 +1,12 @@
+"""Deliberately hazardous: SIM002 (generator called, never registered)."""
+
+sim = get_simulator()  # noqa: F821
+
+
+def worker():
+    yield sim.timeout(5)
+
+
+def main() -> None:
+    worker()  # HAZARD SIM002
+    _ = sim.process(worker())  # registered: fine

@@ -1,0 +1,10 @@
+"""Deliberately hazardous: SIM003 (float delay on the integer clock)."""
+
+sim = get_simulator()  # noqa: F821
+NBYTES = 4096
+
+
+def proc():
+    yield sim.timeout(NBYTES / 8.0)  # HAZARD SIM003
+    yield sim.timeout(1.5)  # HAZARD SIM003
+    yield sim.timeout(int(NBYTES / 8.0))  # rounded: fine

@@ -1,0 +1,22 @@
+"""Deliberately hazardous: SIM004 (wall clock, unseeded RNG)."""
+
+import random
+import time
+
+import numpy as np
+
+
+def stamp() -> float:
+    return time.time()  # HAZARD SIM004
+
+
+def jitter() -> float:
+    return random.random()  # HAZARD SIM004
+
+
+def make_rng():
+    return np.random.default_rng()  # HAZARD SIM004
+
+
+def ok_seeded():
+    return np.random.default_rng(42)

@@ -1,0 +1,15 @@
+"""Deliberately hazardous: SIM005 (process yields a non-Event)."""
+
+sim = get_simulator()  # noqa: F821
+
+
+def proc():
+    yield sim.timeout(5)
+    yield 42  # HAZARD SIM005
+    yield  # HAZARD SIM005
+
+
+def data_gen():
+    # not a sim process (no factory yields, never registered): fine
+    yield 1
+    yield 2

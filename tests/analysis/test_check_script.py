@@ -1,0 +1,22 @@
+"""Tier-1 gate: scripts/check.sh must pass on the committed tree."""
+
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SCRIPT = REPO_ROOT / "scripts" / "check.sh"
+
+
+@pytest.mark.skipif(shutil.which("bash") is None, reason="bash not available")
+def test_check_script_passes():
+    proc = subprocess.run(
+        ["bash", str(SCRIPT)], capture_output=True, text=True, cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, (
+        f"check.sh failed (rc={proc.returncode})\n"
+        f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    )
+    assert "0 findings" in proc.stdout

@@ -1,0 +1,380 @@
+"""Per-rule unit tests: ≥2 should-flag and ≥2 should-pass snippets each,
+plus suppression-comment and alias handling.
+
+Snippets are inline source strings run through
+:func:`repro.analysis.analyze_source`; nothing here executes the snippet.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import analyze_source
+
+
+def findings_for(source, rule=None):
+    src = textwrap.dedent(source).lstrip("\n")
+    select = [rule] if rule else None
+    return analyze_source(src, path="snippet.py", select=select)
+
+
+def rule_ids(source, rule=None):
+    return [f.rule_id for f in findings_for(source, rule)]
+
+
+# --------------------------------------------------------------------- SIM001
+class TestSim001Unconsumed:
+    def test_flags_bare_timeout(self):
+        fs = findings_for(
+            """
+            def proc(sim):
+                sim.timeout(5)
+                yield sim.timeout(1)
+            """, rule="SIM001")
+        assert [(f.rule_id, f.line) for f in fs] == [("SIM001", 2)]
+
+    def test_flags_bare_process_and_event(self):
+        fs = findings_for(
+            """
+            def setup(sim, gen):
+                sim.process(gen())
+                sim.event()
+            """, rule="SIM001")
+        assert [f.line for f in fs] == [2, 3]
+        assert all(f.rule_id == "SIM001" for f in fs)
+
+    def test_flags_self_sim_attribute_receiver(self):
+        assert rule_ids(
+            """
+            def go(self):
+                self.sim.timeout(30)
+            """, rule="SIM001") == ["SIM001"]
+
+    def test_passes_yielded_and_bound(self):
+        assert rule_ids(
+            """
+            def proc(sim):
+                yield sim.timeout(5)
+                ev = sim.event()
+                yield ev
+            """, rule="SIM001") == []
+
+    def test_passes_passed_on_and_returned(self):
+        assert rule_ids(
+            """
+            def wait_all(sim, evs):
+                yield sim.all_of([sim.timeout(1), sim.timeout(2)])
+                return sim.timeout(3)
+            """, rule="SIM001") == []
+
+    def test_alias_call_is_flagged(self):
+        # `t = sim.timeout; t(5)` resolves through the alias table.
+        fs = findings_for(
+            """
+            def proc(sim):
+                t = sim.timeout
+                t(5)
+                yield t(1)
+            """, rule="SIM001")
+        assert [(f.rule_id, f.line) for f in fs] == [("SIM001", 3)]
+
+    def test_line_suppression(self):
+        assert rule_ids(
+            """
+            def proc(sim):
+                sim.timeout(5)  # snacclint: disable=SIM001
+                yield sim.timeout(1)
+            """, rule="SIM001") == []
+
+    def test_file_suppression(self):
+        assert rule_ids(
+            """
+            # snacclint: disable-file=SIM001
+            def proc(sim):
+                sim.timeout(5)
+            """, rule="SIM001") == []
+
+    def test_bare_disable_suppresses_all_rules(self):
+        assert rule_ids(
+            """
+            def proc(sim):
+                sim.timeout(1.5)  # snacclint: disable
+            """) == []
+
+
+# --------------------------------------------------------------------- SIM002
+class TestSim002Unregistered:
+    def test_flags_bare_generator_call(self):
+        fs = findings_for(
+            """
+            def worker(sim):
+                yield sim.timeout(5)
+
+            def main(sim):
+                worker(sim)
+            """, rule="SIM002")
+        assert [(f.rule_id, f.line) for f in fs] == [("SIM002", 5)]
+
+    def test_flags_bare_generator_method_call(self):
+        assert rule_ids(
+            """
+            class Engine:
+                def run(self):
+                    yield self.sim.timeout(1)
+
+                def start(self):
+                    self.run()
+            """, rule="SIM002") == ["SIM002"]
+
+    def test_passes_registered_via_process(self):
+        assert rule_ids(
+            """
+            def worker(sim):
+                yield sim.timeout(5)
+
+            def main(sim):
+                _ = sim.process(worker(sim))
+            """, rule="SIM002") == []
+
+    def test_passes_iterated_or_assigned(self):
+        assert rule_ids(
+            """
+            def numbers():
+                yield 1
+
+            def main(sim):
+                vals = list(numbers())
+                g = numbers()
+                return vals, g
+            """, rule="SIM002") == []
+
+    def test_suppression(self):
+        assert rule_ids(
+            """
+            def worker(sim):
+                yield sim.timeout(5)
+
+            def main(sim):
+                worker(sim)  # snacclint: disable=SIM002
+            """, rule="SIM002") == []
+
+
+# --------------------------------------------------------------------- SIM003
+class TestSim003FloatDelay:
+    def test_flags_true_division(self):
+        fs = findings_for(
+            """
+            def proc(sim, nbytes):
+                yield sim.timeout(nbytes / 8.0)
+            """, rule="SIM003")
+        assert [(f.rule_id, f.line) for f in fs] == [("SIM003", 2)]
+
+    def test_flags_float_literal_and_float_arith(self):
+        fs = findings_for(
+            """
+            def proc(sim, n):
+                yield sim.timeout(1.5)
+                yield sim.timeout(n * 0.8)
+            """, rule="SIM003")
+        assert [f.line for f in fs] == [2, 3]
+
+    def test_flags_float_call_and_keyword_delay(self):
+        assert rule_ids(
+            """
+            def proc(sim, x):
+                yield sim.timeout(delay=float(x))
+            """, rule="SIM003") == ["SIM003"]
+
+    def test_passes_int_expressions(self):
+        assert rule_ids(
+            """
+            def proc(sim, n):
+                yield sim.timeout(5)
+                yield sim.timeout(n * 8)
+                yield sim.timeout(n // 2)
+            """, rule="SIM003") == []
+
+    def test_passes_blessed_conversions(self):
+        assert rule_ids(
+            """
+            def proc(sim, n, gbps):
+                yield sim.timeout(ns_for_bytes(n, gbps))
+                yield sim.timeout(int(n / 8.0))
+                yield sim.timeout(round(n / 8.0))
+            """, rule="SIM003") == []
+
+    def test_unknown_types_not_flagged(self):
+        # a Name that happens to hold a float is mypy's job, not snacclint's
+        assert rule_ids(
+            """
+            def proc(sim, mystery):
+                yield sim.timeout(mystery)
+            """, rule="SIM003") == []
+
+    def test_alias_call_is_flagged(self):
+        assert rule_ids(
+            """
+            def proc(sim):
+                t = sim.timeout
+                yield t(5 / 2)
+            """, rule="SIM003") == ["SIM003"]
+
+    def test_schedule_delay_kwarg(self):
+        assert rule_ids(
+            """
+            def kick(sim, ev):
+                sim._schedule(ev, delay=0.5)
+            """, rule="SIM003") == ["SIM003"]
+
+
+# --------------------------------------------------------------------- SIM004
+class TestSim004Nondeterminism:
+    def test_flags_wall_clock(self):
+        fs = findings_for(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """, rule="SIM004")
+        assert [(f.rule_id, f.line) for f in fs] == [("SIM004", 4)]
+
+    def test_flags_from_import_and_datetime(self):
+        assert rule_ids(
+            """
+            from time import time
+            from datetime import datetime
+
+            def stamp():
+                return time(), datetime.now()
+            """, rule="SIM004") == ["SIM004", "SIM004"]
+
+    def test_flags_global_random_module(self):
+        assert rule_ids(
+            """
+            import random
+
+            def jitter():
+                return random.random() + random.randint(0, 5)
+            """, rule="SIM004") == ["SIM004", "SIM004"]
+
+    def test_flags_unseeded_default_rng_and_legacy_numpy(self):
+        assert rule_ids(
+            """
+            import numpy as np
+
+            def make():
+                rng = np.random.default_rng()
+                return rng, np.random.rand(3)
+            """, rule="SIM004") == ["SIM004", "SIM004"]
+
+    def test_passes_seeded_rngs(self):
+        assert rule_ids(
+            """
+            import random
+
+            import numpy as np
+
+            def make(seed):
+                return np.random.default_rng(seed), random.Random(1234)
+            """, rule="SIM004") == []
+
+    def test_passes_sim_clock_and_unrelated_time_attrs(self):
+        assert rule_ids(
+            """
+            def now(sim, record):
+                return sim.now, record.time
+            """, rule="SIM004") == []
+
+    def test_wallclock_allowlist_is_path_scoped(self):
+        src = "import time\nt0 = time.time()\n"
+        allowed = analyze_source(
+            src, path="src/repro/bench/__main__.py", select=["SIM004"])
+        elsewhere = analyze_source(
+            src, path="src/repro/core/streamer.py", select=["SIM004"])
+        assert allowed == []
+        assert [f.rule_id for f in elsewhere] == ["SIM004"]
+
+    def test_suppression(self):
+        assert rule_ids(
+            """
+            import time
+
+            def stamp():
+                return time.time()  # snacclint: disable=SIM004
+            """, rule="SIM004") == []
+
+
+# --------------------------------------------------------------------- SIM005
+class TestSim005YieldNonEvent:
+    def test_flags_constant_yield_in_registered_process(self):
+        fs = findings_for(
+            """
+            def proc(sim):
+                yield 42
+
+            def main(sim):
+                _ = sim.process(proc(sim))
+            """, rule="SIM005")
+        assert [(f.rule_id, f.line) for f in fs] == [("SIM005", 2)]
+
+    def test_flags_bare_yield_and_arithmetic(self):
+        fs = findings_for(
+            """
+            def proc(sim, a, b):
+                yield sim.timeout(1)
+                yield
+                yield a + b
+            """, rule="SIM005")
+        assert [f.line for f in fs] == [3, 4]
+
+    def test_passes_factory_and_unknown_yields(self):
+        assert rule_ids(
+            """
+            def proc(sim, store):
+                yield sim.timeout(5)
+                yield store.get()
+                item = yield store.get()
+                return item
+            """, rule="SIM005") == []
+
+    def test_passes_plain_data_generators(self):
+        # not registered, no factory yields: a data generator, not a process
+        assert rule_ids(
+            """
+            def chunks(n):
+                yield 1
+                yield n + 1
+            """, rule="SIM005") == []
+
+    def test_suppression(self):
+        assert rule_ids(
+            """
+            def proc(sim):
+                yield sim.timeout(1)
+                yield 42  # snacclint: disable=SIM005
+            """, rule="SIM005") == []
+
+
+# ------------------------------------------------------------------- engine
+class TestEngineBehavior:
+    def test_unknown_rule_id_raises(self):
+        with pytest.raises(ValueError, match="unknown rule ids"):
+            analyze_source("x = 1\n", select=["SIM999"])
+
+    def test_ignore_drops_rules(self):
+        src = "def p(sim):\n    sim.timeout(1.5)\n"
+        assert {f.rule_id for f in analyze_source(src)} == {"SIM001", "SIM003"}
+        only = analyze_source(src, ignore=["SIM001"])
+        assert [f.rule_id for f in only] == ["SIM003"]
+
+    def test_findings_are_sorted_and_formatted(self):
+        fs = analyze_source(
+            "def p(sim):\n    sim.timeout(2)\n    sim.timeout(1)\n",
+            path="mod.py")
+        assert [f.line for f in fs] == [2, 3]
+        assert fs[0].format().startswith("mod.py:2:5: SIM001 ")
+
+    def test_syntax_error_propagates(self):
+        with pytest.raises(SyntaxError):
+            analyze_source("def broken(:\n")

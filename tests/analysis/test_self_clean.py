@@ -1,0 +1,24 @@
+"""Self-gate: the repo's own tree must be snacclint-clean.
+
+Runs the analyzer in-process over the same paths CI uses
+(``src tests benchmarks examples``) and asserts zero findings and zero
+parse errors, so a plain ``pytest`` run enforces the gate without any
+extra tooling.
+"""
+
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+GATED_PATHS = ["src", "tests", "benchmarks", "examples"]
+
+
+def test_repo_tree_is_snacclint_clean():
+    paths = [str(REPO_ROOT / p) for p in GATED_PATHS if (REPO_ROOT / p).exists()]
+    assert paths, f"no gated paths found under {REPO_ROOT}"
+    findings, errors, count = analyze_paths(paths)
+    assert errors == [], "analyzer failed to parse repo files:\n" + "\n".join(errors)
+    pretty = "\n".join(f.format() for f in findings)
+    assert findings == [], f"snacclint findings in repo tree:\n{pretty}"
+    assert count > 100, f"suspiciously few files analyzed: {count}"

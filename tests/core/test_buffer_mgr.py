@@ -76,8 +76,8 @@ class TestBasics:
             yield sim.timeout(100)
             a.free(first)
 
-        sim.process(waiter())
-        sim.process(freer())
+        _ = sim.process(waiter())
+        _ = sim.process(freer())
         sim.run()
         assert got == [(100, 0)]
 

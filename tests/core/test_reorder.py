@@ -46,8 +46,8 @@ class TestAllocation:
             rob.complete(c0, 0)
             yield from rob.pop_next()
 
-        sim.process(alloc())
-        sim.process(complete_and_pop())
+        _ = sim.process(alloc())
+        _ = sim.process(complete_and_pop())
         sim.run()
         assert got[0][0] == 50
 
@@ -72,8 +72,8 @@ class TestInOrderRetirement:
             yield sim.timeout(10)
             rob.complete(cids[0], 0)      # head last
 
-        sim.process(popper())
-        sim.process(completer())
+        _ = sim.process(popper())
+        _ = sim.process(completer())
         sim.run()
         # nothing retires until the head completes at t=30; then all burst
         assert [cid for _t, cid in popped] == cids
@@ -182,7 +182,7 @@ class TestPropertyBased:
                 e = entry()
                 cid = yield from rob.allocate(e)
                 issued.append(cid)
-                sim.process(completer(cid, d))
+                _ = sim.process(completer(cid, d))
 
         def completer(cid, delay):
             yield sim.timeout(delay)
@@ -193,7 +193,7 @@ class TestPropertyBased:
                 e = yield from rob.pop_next()
                 popped.append(e.cid)
 
-        sim.process(driver())
-        sim.process(popper())
+        _ = sim.process(driver())
+        _ = sim.process(popper())
         sim.run()
         assert popped == issued

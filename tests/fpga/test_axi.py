@@ -34,8 +34,8 @@ class TestAxiStream:
                 f = yield from st.recv()
                 out.append(f)
 
-        sim.process(producer())
-        sim.process(consumer())
+        _ = sim.process(producer())
+        _ = sim.process(consumer())
         sim.run()
         assert [f.meta["i"] for f in out] == [0, 1, 2, 3, 4]
         for f, b in zip(out, blobs):
@@ -76,8 +76,8 @@ class TestAxiStream:
                 yield from st.recv()
                 yield sim.timeout(10_000)
 
-        sim.process(producer())
-        sim.process(slow_consumer())
+        _ = sim.process(producer())
+        _ = sim.process(slow_consumer())
         sim.run()
         # first two fill the FIFO quickly; the rest wait for the consumer
         assert done[1][1] < 10_000

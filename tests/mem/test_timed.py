@@ -37,8 +37,8 @@ class TestSram:
             yield from m.timed_write(0, nbytes=1000)
             times["w"] = sim.now
 
-        sim.process(reader())
-        sim.process(writer())
+        _ = sim.process(reader())
+        _ = sim.process(writer())
         sim.run()
         solo = ns_for_bytes(1000, 1.0)
         assert times["r"] == solo
@@ -52,8 +52,8 @@ class TestSram:
             yield from m.timed_read(0, 1000, functional=False)
             finish.append(sim.now)
 
-        sim.process(reader())
-        sim.process(reader())
+        _ = sim.process(reader())
+        _ = sim.process(reader())
         sim.run()
         assert finish == [1000, 2000]
 
@@ -116,7 +116,7 @@ class TestDram:
             order.append(i)
 
         for i in range(4):
-            sim.process(access(i))
+            _ = sim.process(access(i))
         sim.run()
         assert order == [0, 1, 2, 3]
 
@@ -158,8 +158,8 @@ class TestHostDram:
             yield from m.timed_read(0, 1000, functional=False)
             finish.append(sim.now)
 
-        sim.process(reader())
-        sim.process(reader())
+        _ = sim.process(reader())
+        _ = sim.process(reader())
         sim.run()
         # capacity-2 read port: both proceed concurrently
         assert finish == [1000, 1000]

@@ -51,8 +51,8 @@ class TestMacBasics:
             f = yield from b.recv()
             got.append(f)
 
-        sim.process(sender())
-        sim.process(receiver())
+        _ = sim.process(sender())
+        _ = sim.process(receiver())
         sim.run()
         assert np.array_equal(got[0].data, payload)
 
@@ -68,7 +68,7 @@ class TestMacBasics:
             for _ in range(n_frames):
                 yield from b.recv()
 
-        sim.process(sender())
+        _ = sim.process(sender())
         done = sim.process(receiver())
         sim.run()
         wire = n_frames * (8192 + 38)
@@ -109,8 +109,8 @@ class TestFlowControl:
                 received.append(f.meta["seq"])
                 yield sim.timeout(3000)  # much slower than line rate
 
-        sim.process(sender())
-        sim.process(slow_consumer())
+        _ = sim.process(sender())
+        _ = sim.process(slow_consumer())
         sim.run()
         assert received == list(range(n))
         assert b.dropped_frames == 0
@@ -131,8 +131,8 @@ class TestFlowControl:
                 yield from b.recv()
                 yield sim.timeout(3000)
 
-        sim.process(sender())
-        sim.process(slow_consumer())
+        _ = sim.process(sender())
+        _ = sim.process(slow_consumer())
         sim.run(until=10_000_000)
         assert b.dropped_frames > 0
 
@@ -159,7 +159,7 @@ class TestFlowControl:
                 yield from b.recv()
                 yield sim.timeout(per_frame_ns)
 
-        sim.process(sender())
+        _ = sim.process(sender())
         done = sim.process(consumer())
         sim.run()
         # elapsed ~= n * consumer_period (within buffer slack)
@@ -185,8 +185,8 @@ class TestSwitch:
             f = yield from dst.recv()
             got.append(f)
 
-        sim.process(sender())
-        sim.process(receiver())
+        _ = sim.process(sender())
+        _ = sim.process(receiver())
         sim.run()
         assert np.array_equal(got[0].data, payload)
         assert sw.forwarded_frames == 1
@@ -213,8 +213,8 @@ class TestSwitch:
                 received.append(f.meta["seq"])
                 yield sim.timeout(5000)
 
-        sim.process(sender())
-        sim.process(slow_consumer())
+        _ = sim.process(sender())
+        _ = sim.process(slow_consumer())
         sim.run()
         assert received == list(range(n))
         assert dst.dropped_frames == 0
@@ -241,7 +241,7 @@ class TestFrameStreamSource:
                 got += f.payload_bytes
 
         src.start()
-        sim.process(receiver())
+        _ = sim.process(receiver())
         sim.run()
         assert np.array_equal(np.concatenate(out), blob)
 

@@ -243,8 +243,8 @@ class TestReadTags:
             yield from ep.dma_read(HOST_BASE, 4096, functional=False)
             finish.append(sim.now)
 
-        sim.process(reader(ep1))
-        sim.process(reader(ep1))
+        _ = sim.process(reader(ep1))
+        _ = sim.process(reader(ep1))
         sim.run()
         # With one tag the reads fully serialize.
         assert finish[1] >= 2 * finish[0] * 0.95

@@ -92,8 +92,8 @@ class TestPcieLink:
             yield from link.serialize(direction, 64 * KiB)
             finish[direction] = sim.now
 
-        sim.process(mover("up"))
-        sim.process(mover("down"))
+        _ = sim.process(mover("up"))
+        _ = sim.process(mover("down"))
         sim.run()
         assert finish["up"] == finish["down"]
 
@@ -106,8 +106,8 @@ class TestPcieLink:
             yield from link.serialize("up", 64 * KiB)
             finish.append(sim.now)
 
-        sim.process(mover())
-        sim.process(mover())
+        _ = sim.process(mover())
+        _ = sim.process(mover())
         sim.run()
         # Chunked interleaving: both transfers complete around 2x solo time.
         solo = ns_for_bytes(params.tlp.wire_bytes(64 * KiB), params.raw_gbps)

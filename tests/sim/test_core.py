@@ -14,9 +14,9 @@ class TestTimeoutOrdering:
             yield sim.timeout(delay)
             log.append((sim.now, name))
 
-        sim.process(p("late", 30))
-        sim.process(p("early", 10))
-        sim.process(p("mid", 20))
+        _ = sim.process(p("late", 30))
+        _ = sim.process(p("early", 10))
+        _ = sim.process(p("mid", 20))
         sim.run()
         assert log == [(10, "early"), (20, "mid"), (30, "late")]
 
@@ -28,7 +28,7 @@ class TestTimeoutOrdering:
             log.append(name)
 
         for name in "abc":
-            sim.process(p(name))
+            _ = sim.process(p(name))
         sim.run()
         assert log == ["a", "b", "c"]
 
@@ -39,19 +39,19 @@ class TestTimeoutOrdering:
             yield sim.timeout(0)
             times.append(sim.now)
 
-        sim.process(p())
+        _ = sim.process(p())
         sim.run()
         assert times == [0]
 
     def test_negative_delay_rejected(self, sim):
         with pytest.raises(ValueError):
-            sim.timeout(-1)
+            sim.timeout(-1)  # snacclint: disable=SIM001 (constructor must raise)
 
     def test_run_until_stops_clock(self, sim):
         def p():
             yield sim.timeout(100)
 
-        sim.process(p())
+        _ = sim.process(p())
         sim.run(until=50)
         assert sim.now == 50
         sim.run()
@@ -69,7 +69,7 @@ class TestProcess:
             out.append(result)
 
         out = []
-        sim.process(parent(out))
+        _ = sim.process(parent(out))
         sim.run()
         assert out == [42]
 
@@ -85,7 +85,7 @@ class TestProcess:
             yield sim.timeout(1)
             raise ValueError("boom")
 
-        sim.process(bad())
+        _ = sim.process(bad())
         with pytest.raises(SimulationError) as exc_info:
             sim.run()
         assert isinstance(exc_info.value.__cause__, ValueError)
@@ -102,7 +102,7 @@ class TestProcess:
                 out.append(str(e))
 
         out = []
-        sim.process(parent(out))
+        _ = sim.process(parent(out))
         # Handled by the waiting parent: the simulation does not crash.
         sim.run()
         assert out == ["boom"]
@@ -111,13 +111,13 @@ class TestProcess:
         def bad():
             yield 17
 
-        sim.process(bad())
+        _ = sim.process(bad())
         with pytest.raises(SimulationError):
             sim.run()
 
     def test_non_generator_rejected(self, sim):
         with pytest.raises(TypeError):
-            sim.process(lambda: None)
+            _ = sim.process(lambda: None)
 
     def test_is_alive_lifecycle(self, sim):
         def body():
@@ -140,8 +140,8 @@ class TestProcess:
             yield sim.timeout(7)
             ev.succeed("go")
 
-        sim.process(waiter())
-        sim.process(trigger())
+        _ = sim.process(waiter())
+        _ = sim.process(trigger())
         sim.run()
         assert out == [(7, "go")]
 
@@ -154,7 +154,7 @@ class TestProcess:
             val = yield ev
             out.append(val)
 
-        sim.process(waiter())
+        _ = sim.process(waiter())
         sim.run()
         assert out == [5]
 
@@ -193,7 +193,7 @@ class TestConditions:
             vals = yield sim.all_of([t1, t2])
             out.append((sim.now, vals))
 
-        sim.process(body())
+        _ = sim.process(body())
         sim.run()
         assert out == [(15, ["a", "b"])]
 
@@ -206,7 +206,7 @@ class TestConditions:
             vals = yield sim.any_of([t1, t2])
             out.append((sim.now, vals))
 
-        sim.process(body())
+        _ = sim.process(body())
         sim.run()
         assert out == [(5, ["a", None])]
 
@@ -217,7 +217,7 @@ class TestConditions:
             vals = yield sim.all_of([])
             out.append((sim.now, vals))
 
-        sim.process(body())
+        _ = sim.process(body())
         sim.run()
         assert out == [(0, [])]
 
@@ -238,7 +238,7 @@ class TestInterrupt:
             target.interrupt(cause="wakeup")
 
         p = sim.process(sleeper())
-        sim.process(interrupter(p))
+        _ = sim.process(interrupter(p))
         sim.run()
         assert out == [("interrupted", 10, "wakeup")]
 
@@ -267,7 +267,7 @@ class TestInterrupt:
             target.interrupt()
 
         p = sim.process(sleeper())
-        sim.process(interrupter(p))
+        _ = sim.process(interrupter(p))
         sim.run()
         assert out == [15]
 
@@ -289,7 +289,7 @@ class TestInterrupt:
             target.interrupt()
 
         p = sim.process(sleeper())
-        sim.process(interrupter(p))
+        _ = sim.process(interrupter(p))
         sim.run()
         assert out == ["int", 110]
 
@@ -303,7 +303,7 @@ class TestDeterminism:
                     log.append((sim.now, name, i))
 
             for k in range(5):
-                sim.process(worker(f"w{k}", 7 + k, 10))
+                _ = sim.process(worker(f"w{k}", 7 + k, 10))
 
         log1, log2 = [], []
         s1, s2 = Simulator(), Simulator()

@@ -23,8 +23,8 @@ class TestStoreFifo:
                 item = yield st_.get()
                 out.append(item)
 
-        sim.process(producer())
-        sim.process(consumer())
+        _ = sim.process(producer())
+        _ = sim.process(consumer())
         sim.run()
         assert out == list(range(10))
 
@@ -43,8 +43,8 @@ class TestStoreFifo:
                 yield st_.get()
                 yield sim.timeout(10)
 
-        sim.process(producer())
-        sim.process(consumer())
+        _ = sim.process(producer())
+        _ = sim.process(consumer())
         sim.run()
         # First two puts complete at t=0; the rest wait for the consumer.
         assert progress[0] == (0, 0)
@@ -64,8 +64,8 @@ class TestStoreFifo:
             yield sim.timeout(42)
             yield st_.put("x")
 
-        sim.process(consumer())
-        sim.process(producer())
+        _ = sim.process(consumer())
+        _ = sim.process(producer())
         sim.run()
         assert out == [(42, "x")]
 
@@ -83,8 +83,8 @@ class TestStoreFifo:
                 yield st_.put(i)
 
         for name in ("c0", "c1", "c2"):
-            sim.process(consumer(name))
-        sim.process(producer())
+            _ = sim.process(consumer(name))
+        _ = sim.process(producer())
         sim.run()
         assert out == [("c0", 0), ("c1", 1), ("c2", 2)]
 
@@ -127,8 +127,8 @@ class TestStoreFifo:
                 out.append(v)
                 yield sim.timeout(1)
 
-        sim.process(producer())
-        sim.process(consumer())
+        _ = sim.process(producer())
+        _ = sim.process(consumer())
         sim.run()
         assert out == items
 
@@ -148,7 +148,7 @@ class TestResource:
             res.release()
 
         for i in range(5):
-            sim.process(user(i))
+            _ = sim.process(user(i))
         sim.run()
         assert max(peaks) == 2
 
@@ -163,7 +163,7 @@ class TestResource:
             res.release()
 
         for i in range(4):
-            sim.process(user(i))
+            _ = sim.process(user(i))
         sim.run()
         assert order == [0, 1, 2, 3]
 
@@ -186,15 +186,15 @@ class TestResource:
             yield res.acquire()
             res.release()
 
-        sim.process(holder())
-        sim.process(waiter())
+        _ = sim.process(holder())
+        _ = sim.process(waiter())
 
         def checker():
             yield sim.timeout(5)
             assert res.in_use == 1
             assert res.queued == 1
 
-        sim.process(checker())
+        _ = sim.process(checker())
         sim.run()
         assert res.in_use == 0
 
@@ -208,7 +208,7 @@ class TestTokenBucket:
             yield from tb.consume(1000)
             times.append(sim.now)
 
-        sim.process(body())
+        _ = sim.process(body())
         sim.run()
         assert times == [0]
 
@@ -223,7 +223,7 @@ class TestTokenBucket:
                 total += 1000
             done.append((sim.now, total))
 
-        sim.process(body())
+        _ = sim.process(body())
         sim.run()
         t, total = done[0]
         achieved = total / t  # bytes/ns == GB/s

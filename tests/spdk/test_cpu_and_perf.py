@@ -71,8 +71,8 @@ class TestCpuThread:
             yield from cpu.work(100)
             ends.append(sim.now)
 
-        sim.process(worker())
-        sim.process(worker())
+        _ = sim.process(worker())
+        _ = sim.process(worker())
         sim.run()
         assert ends == [100, 200]
 
