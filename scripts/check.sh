@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
-# One-shot static gate: snacclint + ruff + mypy.
+# One-shot static gate: snacclint + ruff + mypy + perf smoke.
 #
 #   ./scripts/check.sh
 #
 # snacclint (python -m repro.analysis) is always run — it has no
 # third-party dependencies.  ruff and mypy run when installed (pip
 # install -e '.[lint]') and are skipped with a notice otherwise, so the
-# gate works in minimal containers.  Exit code is non-zero if any gate
-# that ran failed.  tests/analysis/test_check_script.py runs this script
-# under plain pytest, so `pytest -x -q` alone catches regressions.
+# gate works in minimal containers.  The perf smoke stage compares the
+# kernel microbenchmark against the committed BENCH_sim_kernel.json and
+# only *warns* on regression (wall-clock numbers move with host load).
+# Exit code is non-zero if any hard gate that ran failed.
+# tests/analysis/test_check_script.py runs this script under plain
+# pytest, so `pytest -x -q` alone catches regressions.
 set -u
 cd "$(dirname "$0")/.."
 
@@ -16,11 +19,11 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 status=0
 
 echo "== snacclint (python -m repro.analysis) =="
-python -m repro.analysis src tests benchmarks examples || status=1
+python -m repro.analysis src tests benchmarks examples scripts || status=1
 
 echo "== ruff =="
 if python -m ruff --version >/dev/null 2>&1; then
-    python -m ruff check src tests benchmarks examples || status=1
+    python -m ruff check src tests benchmarks examples scripts || status=1
 else
     echo "skipped (ruff not installed; pip install -e '.[lint]')"
 fi
@@ -30,6 +33,16 @@ if python -m mypy --version >/dev/null 2>&1; then
     python -m mypy || status=1
 else
     echo "skipped (mypy not installed; pip install -e '.[lint]')"
+fi
+
+echo "== perf smoke (scripts/perf.py --check) =="
+if [ -f BENCH_sim_kernel.json ]; then
+    # Advisory only: a slow host is not a broken tree.
+    python scripts/perf.py --check \
+        || echo "WARNING: kernel perf regressed vs BENCH_sim_kernel.json" \
+                "(advisory; see scripts/perf.py)"
+else
+    echo "skipped (no BENCH_sim_kernel.json; run scripts/perf.py)"
 fi
 
 exit $status

@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Performance harness: kernel microbenchmark + timed experiment subsets.
+
+Usage::
+
+    PYTHONPATH=src python scripts/perf.py            # measure, write baseline
+    PYTHONPATH=src python scripts/perf.py --check    # validate against baseline
+
+The default mode runs a deterministic event-kernel microbenchmark (reported
+as events/sec) plus two small timed experiment subsets, and writes the
+results to ``BENCH_sim_kernel.json`` at the repo root.  ``--check`` re-runs
+only the microbenchmark and compares against the committed baseline: it
+exits non-zero when throughput regressed beyond ``--tolerance`` (default
+1.3x), which ``scripts/check.sh`` reports as a warning, not a failure —
+wall-clock numbers move with host load, so the gate is advisory.
+
+This file is allowlisted for wall-clock reads in SIM004
+(``repro.analysis.rules.determinism``): it *times the simulator*, it is not
+model code.  The simulated workloads themselves are fully deterministic —
+the event count is asserted stable across runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, Generator, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.sim.core import Event, Simulator  # noqa: E402
+from repro.sim.resources import Resource, Store  # noqa: E402
+from repro.units import MiB  # noqa: E402
+
+BASELINE_FILE = REPO_ROOT / "BENCH_sim_kernel.json"
+SCHEMA = 1
+
+#: microbenchmark shape — changing these invalidates committed baselines
+N_PROCS = 64
+N_ITERS = 600
+
+
+def _worker(sim: Simulator, res: Resource, store: Store, ident: int
+            ) -> Generator[Event, Any, None]:
+    """Exercise the hot kernel paths: timeouts, semaphores, FIFO hand-off."""
+    for it in range(N_ITERS):
+        yield sim.timeout(1 + (ident * 31 + it * 7) % 97)
+        yield res.acquire()
+        try:
+            yield sim.timeout(3)
+        finally:
+            res.release()
+        yield store.put((ident, it))
+        _ = yield store.get()
+
+
+def kernel_microbench() -> Tuple[int, float]:
+    """Run the microbenchmark; returns (kernel events, elapsed seconds)."""
+    sim = Simulator()
+    res = Resource(sim, capacity=4, name="bench.res")
+    store = Store(sim, capacity=None, name="bench.store")
+    for ident in range(N_PROCS):
+        _ = sim.process(_worker(sim, res, store, ident))
+    t0 = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - t0
+    return sim._seq, elapsed
+
+
+def timed_experiments() -> Dict[str, Dict[str, float]]:
+    """Time two small end-to-end experiment subsets (seconds each)."""
+    from repro.bench.experiments.fig4 import run_fig4a, run_fig4b
+
+    subsets = {
+        "fig4a_seq_16MiB": lambda: run_fig4a(transfer_bytes=16 * MiB),
+        "fig4b_rand_4MiB": lambda: run_fig4b(transfer_bytes=4 * MiB),
+    }
+    out: Dict[str, Dict[str, float]] = {}
+    for name, fn in subsets.items():
+        t0 = time.perf_counter()
+        result = fn()
+        seconds = time.perf_counter() - t0
+        out[name] = {"seconds": round(seconds, 3)}
+        print(f"  {name}: {seconds:.2f}s "
+              f"({'in band' if result.all_in_band else 'OUT OF BAND'})")
+    return out
+
+
+def measure(skip_experiments: bool = False) -> Dict[str, Any]:
+    """Full measurement pass; returns the baseline document."""
+    print("kernel microbenchmark "
+          f"({N_PROCS} procs x {N_ITERS} iters) ...")
+    events, elapsed = kernel_microbench()
+    eps = events / elapsed if elapsed > 0 else float("inf")
+    print(f"  {events} events in {elapsed:.3f}s = {eps:,.0f} events/sec")
+    doc: Dict[str, Any] = {
+        "schema": SCHEMA,
+        "kernel": {
+            "n_procs": N_PROCS,
+            "n_iters": N_ITERS,
+            "events": events,
+            "seconds": round(elapsed, 4),
+            "events_per_sec": round(eps),
+        },
+    }
+    if not skip_experiments:
+        print("timed experiment subsets ...")
+        doc["experiments"] = timed_experiments()
+    return doc
+
+
+def check(tolerance: float) -> int:
+    """Validate the current tree against the committed baseline."""
+    if not BASELINE_FILE.exists():
+        print(f"perf: no baseline at {BASELINE_FILE.name}; "
+              "run scripts/perf.py to create one")
+        return 2
+    baseline = json.loads(BASELINE_FILE.read_text())
+    base_kernel = baseline.get("kernel", {})
+    base_eps = base_kernel.get("events_per_sec")
+    base_events = base_kernel.get("events")
+    if (baseline.get("schema") != SCHEMA or not base_eps
+            or base_kernel.get("n_procs") != N_PROCS
+            or base_kernel.get("n_iters") != N_ITERS):
+        print("perf: baseline is stale (schema or workload shape changed); "
+              "regenerate with scripts/perf.py")
+        return 2
+    events, elapsed = kernel_microbench()
+    eps = events / elapsed if elapsed > 0 else float("inf")
+    if events != base_events:
+        print(f"perf: DETERMINISM VIOLATION — kernel event count {events} "
+              f"!= baseline {base_events}; the simulated workload diverged")
+        return 1
+    ratio = base_eps / eps if eps else float("inf")
+    print(f"perf: {eps:,.0f} events/sec vs baseline {base_eps:,.0f} "
+          f"(ratio {ratio:.2f}x, tolerance {tolerance:.1f}x)")
+    if ratio > tolerance:
+        print(f"perf: kernel throughput regressed beyond {tolerance:.1f}x")
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--check", action="store_true",
+                        help="validate against the committed baseline")
+    parser.add_argument("--tolerance", type=float, default=1.3,
+                        help="slowdown ratio treated as a regression "
+                             "in --check mode (default 1.3)")
+    parser.add_argument("--no-experiments", action="store_true",
+                        help="skip the timed experiment subsets")
+    args = parser.parse_args(argv)
+    if args.check:
+        return check(args.tolerance)
+    doc = measure(skip_experiments=args.no_experiments)
+    BASELINE_FILE.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {BASELINE_FILE.relative_to(REPO_ROOT)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -105,22 +105,28 @@ class _UramWindowHandler(BarHandler):
 
     def bar_read(self, offset: int, nbytes: int, functional: bool = True,
                  ) -> Generator[Event, Any, Optional[np.ndarray]]:
+        # Returns the URAM's generator directly (no delegating frame): data
+        # accesses are the hot path, so each event resume walks one less
+        # generator.  The PRP-mirror branch keeps its own small generator.
         st = self.streamer
         if offset >= st.config.uram_buffer_bytes:
-            yield st.sim.timeout(30)  # combinational synthesis + register
-            raw = st._prp_uram.synth_read(
-                offset - st.config.uram_buffer_bytes, nbytes)
-            return np.frombuffer(raw, dtype=np.uint8).copy()
-        data = yield from st._uram.timed_read(offset, nbytes,
-                                              functional=functional)
-        return data
+            return self._prp_mirror_read(offset, nbytes)
+        return st._uram.timed_read(offset, nbytes, functional=functional)
+
+    def _prp_mirror_read(self, offset: int, nbytes: int,
+                         ) -> Generator[Event, Any, Optional[np.ndarray]]:
+        st = self.streamer
+        yield st.sim.timeout(30)  # combinational synthesis + register
+        raw = st._prp_uram.synth_read(
+            offset - st.config.uram_buffer_bytes, nbytes)
+        return np.frombuffer(raw, dtype=np.uint8).copy()
 
     def bar_write(self, offset: int, data: Optional[np.ndarray] = None,
                   nbytes: Optional[int] = None) -> Generator[Event, Any, None]:
         st = self.streamer
         if offset >= st.config.uram_buffer_bytes:
             raise StreamerError("PRP mirror is read-only")
-        yield from st._uram.timed_write(offset, data=data, nbytes=nbytes)
+        return st._uram.timed_write(offset, data=data, nbytes=nbytes)
 
 
 class _DramWindowHandler(BarHandler):
@@ -145,6 +151,17 @@ class _DramWindowHandler(BarHandler):
 
     def bar_read(self, offset: int, nbytes: int, functional: bool = True,
                  ) -> Generator[Event, Any, Optional[np.ndarray]]:
+        # Single-burst accesses (the common case: the controller's reads are
+        # already coalescer-sized) go straight to the DRAM generator with no
+        # delegating frame.
+        st = self.streamer
+        if nbytes <= st.config.dram_access_bytes:
+            return st.platform.dram.timed_read(
+                self.region_base + offset, nbytes, functional=functional)
+        return self._split_read(offset, nbytes, functional)
+
+    def _split_read(self, offset: int, nbytes: int, functional: bool,
+                    ) -> Generator[Event, Any, Optional[np.ndarray]]:
         st = self.streamer
         parts = []
         for off, take in self._split(offset, nbytes):
@@ -158,6 +175,15 @@ class _DramWindowHandler(BarHandler):
                   nbytes: Optional[int] = None) -> Generator[Event, Any, None]:
         st = self.streamer
         total = nbytes if nbytes is not None else len(data)
+        if total <= st.config.dram_access_bytes:
+            return st.platform.dram.timed_write(
+                self.region_base + offset, data=data,
+                nbytes=None if data is not None else total)
+        return self._split_write(offset, data, total)
+
+    def _split_write(self, offset: int, data: Optional[np.ndarray],
+                     total: int) -> Generator[Event, Any, None]:
+        st = self.streamer
         for off, take in self._split(offset, total):
             chunk = None
             if data is not None:
@@ -368,13 +394,21 @@ class NvmeStreamer:
 
     def _fill(self, kind: str, buf_offset: int, nbytes: int,
               data: Optional[np.ndarray]) -> Generator[Event, Any, None]:
-        """Generator: move PE payload into the data buffer (write path)."""
-        cfg = self.config
-        if cfg.variant == StreamerVariant.URAM:
-            yield from self._uram.timed_write(
+        """Move PE payload into the data buffer (write path).
+
+        Dispatcher, not a generator: the URAM variant hands back the
+        buffer's own generator so fill events skip a delegation frame.
+        """
+        if self.config.variant == StreamerVariant.URAM:
+            return self._uram.timed_write(
                 buf_offset, data=data,
                 nbytes=None if data is not None else nbytes)
-        elif cfg.variant == StreamerVariant.ONBOARD_DRAM:
+        return self._fill_scatter(kind, buf_offset, nbytes, data)
+
+    def _fill_scatter(self, kind: str, buf_offset: int, nbytes: int,
+                      data: Optional[np.ndarray]) -> Generator[Event, Any, None]:
+        cfg = self.config
+        if cfg.variant == StreamerVariant.ONBOARD_DRAM:
             base = self._dram_write_base + buf_offset
             step = cfg.dram_access_bytes
             pos = 0
@@ -396,18 +430,24 @@ class NvmeStreamer:
 
     def _drain(self, kind: str, buf_offset: int, nbytes: int,
                functional: bool) -> Generator[Event, Any, Optional[np.ndarray]]:
-        """Generator: move buffer payload toward the PE (read path).
+        """Move buffer payload toward the PE (read path).
 
-        The drain engine keeps multiple outstanding reads in flight (like a
-        pipelined AXI read master): chunk fetches are issued concurrently
-        and gathered in order, so per-command fetch time approaches one
-        round-trip plus serialization instead of chunks x round-trip.
+        Dispatcher, not a generator: the URAM variant returns the buffer's
+        own generator (no delegation frame); the scatter variants keep
+        multiple outstanding reads in flight (like a pipelined AXI read
+        master): chunk fetches are issued concurrently and gathered in
+        order, so per-command fetch time approaches one round-trip plus
+        serialization instead of chunks x round-trip.
         """
+        if self.config.variant == StreamerVariant.URAM:
+            return self._uram.timed_read(buf_offset, nbytes,
+                                         functional=functional)
+        return self._drain_scatter(kind, buf_offset, nbytes, functional)
+
+    def _drain_scatter(self, kind: str, buf_offset: int, nbytes: int,
+                       functional: bool,
+                       ) -> Generator[Event, Any, Optional[np.ndarray]]:
         cfg = self.config
-        if cfg.variant == StreamerVariant.URAM:
-            data = yield from self._uram.timed_read(buf_offset, nbytes,
-                                                    functional=functional)
-            return data
         # Build the chunk list (DRAM region offsets or host bus spans).
         chunks: List[tuple] = []
         if cfg.variant == StreamerVariant.ONBOARD_DRAM:

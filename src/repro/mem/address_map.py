@@ -11,7 +11,7 @@ map enforces window-capacity checks the same way.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Tuple
+from typing import Any, List, Optional, Tuple
 
 from ..errors import AddressError
 from .base import AddressRange
@@ -37,6 +37,9 @@ class AddressMap:
     def __init__(self, name: str = ""):
         self.name = name
         self._windows: List[Window] = []  # sorted by base
+        #: hot-path cache: DMA streams hit the same window repeatedly, so
+        #: the last decode target is checked before the binary search.
+        self._last: Optional[Window] = None
 
     def add(self, base: int, size: int, target: Any, name: str = "") -> Window:
         """Map [base, base+size) to *target*; overlap raises AddressError."""
@@ -48,6 +51,7 @@ class AddressMap:
         win = Window(range=rng, target=target, name=name)
         self._windows.append(win)
         self._windows.sort(key=lambda w: w.range.base)
+        self._last = None
         return win
 
     def decode(self, addr: int, nbytes: int = 1) -> Tuple[Window, int]:
@@ -56,6 +60,11 @@ class AddressMap:
         The full [addr, addr+nbytes) span must lie inside one window —
         accesses straddling window boundaries are hardware bugs we surface.
         """
+        last = self._last
+        if last is not None:
+            rng = last.range
+            if rng.base <= addr and addr + nbytes <= rng.end:
+                return last, addr - rng.base
         lo, hi = 0, len(self._windows) - 1
         while lo <= hi:
             mid = (lo + hi) // 2

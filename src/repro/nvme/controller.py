@@ -352,11 +352,11 @@ class NvmeController(BarHandler):
         return StatusCode.SUCCESS, 0
 
     def _dma_out(self, addr: int, media, offset: int, size: int):
-        data = None
+        # Not a generator: returns the fabric's write generator directly so
+        # resuming a data-out event does not walk an extra delegation frame.
         if media is not None:
-            data = media[offset:offset + size]
-        yield from self.endpoint.dma_write(addr, data=data,
-                                           nbytes=None if data is not None else size)
+            return self.endpoint.dma_write(addr, data=media[offset:offset + size])
+        return self.endpoint.dma_write(addr, nbytes=size)
 
     def _read_pages_random(self, page_index: int, addr: int, media,
                            offset: int, size: int):
@@ -382,10 +382,14 @@ class NvmeController(BarHandler):
         # the on-FPGA burst coalescer joins them back to 4 KiB, §4.3) through
         # the controller's shallow fetch pipeline.  The fetch rate is thus
         # depth x 4 KiB / path-RTT — the P2P write-bandwidth limiter.
-        chunks: List[Optional[np.ndarray]] = [None] * len(pages)
+        # ``fetch_span_pages > 1`` is the ablation that lifts the limiter by
+        # coalescing contiguous PRP spans into one read each (default 1 keeps
+        # the paper-faithful per-page fetch; _coalesce then yields one run
+        # per page, identical to the uncoalesced loop).
+        runs = self._coalesce(pages, nbytes, self.profile.fetch_span_pages)
+        chunks: List[Optional[np.ndarray]] = [None] * len(runs)
         jobs = []
-        for idx, addr in enumerate(pages):
-            size = min(PAGE, nbytes - idx * PAGE)
+        for idx, (addr, size) in enumerate(runs):
             jobs.append(self.sim.process(self._fetch_and_program(
                 addr, size, idx, chunks,
                 extra_ns=self.profile.write_cmd_overhead_ns if idx == 0 else 0)))
@@ -409,7 +413,7 @@ class NvmeController(BarHandler):
             self._fetch_sem.release()
         if data is not None:
             chunks[idx] = data
-        yield from self.backend.program_pages(1, extra_ns=extra_ns)
+        yield from self.backend.program_pages(-(-size // PAGE), extra_ns=extra_ns)
 
     # ----------------------------------------------------------------- admin
     def _exec_admin(self, sqe: SubmissionEntry):

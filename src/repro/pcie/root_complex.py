@@ -76,6 +76,8 @@ class PcieEndpoint:
         self.link = link
         #: limits concurrently outstanding non-posted (read) transactions
         self.read_tags = Resource(fabric.sim, max_read_tags, name=f"{name}.tags")
+        #: memoized ``tlp.read_requests(nbytes)`` (sizes repeat heavily)
+        self._nreq_cache: Dict[int, int] = {}
 
     # -- DMA issued by this device -------------------------------------------
     def dma_read(self, addr: int, nbytes: int, functional: bool = True):
@@ -145,26 +147,62 @@ class PcieFabric:
             raise PCIeError(f"dma_read of {nbytes} bytes")
         self.iommu.check(requester.name, addr, nbytes)
         target, offset = self._decode(addr, nbytes)
-        nreq = requester.link.params.tlp.read_requests(nbytes)
+        nreq = requester._nreq_cache.get(nbytes)
+        if nreq is None:
+            nreq = requester.link.params.tlp.read_requests(nbytes)
+            requester._nreq_cache[nbytes] = nreq
+        rlink = requester.link
         yield requester.read_tags.acquire()
         try:
-            # Request phase: small TLPs up the requester link, through the RC.
-            yield from requester.link.serialize(
-                "up", 0, raw_wire_bytes=nreq * MEMRD_REQUEST_BYTES)
-            yield self.sim.timeout(
-                requester.link.params.propagation_ns + self.rc_forward_ns)
+            # Request phase: small TLPs up the requester link, through the
+            # RC.  Single-chunk transfers inline the serialize sequence
+            # (acquire/timeout/release/credit — see PcieLink.plan_single_chunk)
+            # so every resume in this hot path walks one less frame.
+            plan = rlink.plan_single_chunk(
+                0, raw_wire_bytes=nreq * MEMRD_REQUEST_BYTES)
+            if plan is None:  # pragma: no cover - requests never exceed a chunk
+                yield from rlink.serialize(
+                    "up", 0, raw_wire_bytes=nreq * MEMRD_REQUEST_BYTES)
+            else:
+                ns, wire = plan
+                res = rlink._dirs["up"]
+                yield res.acquire()
+                try:
+                    yield self.sim.timeout(ns)
+                finally:
+                    res.release()
+                rlink.wire_bytes["up"] += wire
 
             if isinstance(target, _HostMemTarget):
+                yield self.sim.timeout(
+                    rlink.params.propagation_ns + self.rc_forward_ns)
                 data = yield from target.mem.timed_read(
                     offset, nbytes, functional=functional)
                 self.traffic.record(HOST_SEGMENT, nbytes)
             elif isinstance(target, _BarTarget):
                 peer = target.endpoint
-                yield self.sim.timeout(peer.link.params.propagation_ns)
+                # One timeout for the request's whole downstream flight:
+                # requester link propagation + RC forward + peer link
+                # propagation (the two legs were separate timeouts; the sum
+                # is identical and saves one kernel event per P2P read).
+                yield self.sim.timeout(
+                    rlink.params.propagation_ns + self.rc_forward_ns
+                    + peer.link.params.propagation_ns)
                 data = yield from target.handler.bar_read(
                     offset, nbytes, functional=functional)
                 # Completion data climbs the peer link, crosses the RC.
-                yield from peer.link.serialize("up", nbytes)
+                plan = peer.link.plan_single_chunk(nbytes)
+                if plan is None:
+                    yield from peer.link.serialize("up", nbytes)
+                else:
+                    ns, wire = plan
+                    res = peer.link._dirs["up"]
+                    yield res.acquire()
+                    try:
+                        yield self.sim.timeout(ns)
+                    finally:
+                        res.release()
+                    peer.link.wire_bytes["up"] += wire
                 yield self.sim.timeout(
                     peer.link.params.propagation_ns + self.rc_forward_ns)
                 self.traffic.record(peer.name, nbytes)
@@ -172,8 +210,19 @@ class PcieFabric:
                 raise PCIeError(f"unroutable target {target!r}")
 
             # Completion data descends the requester link.
-            yield from requester.link.serialize("down", nbytes)
-            yield self.sim.timeout(requester.link.params.propagation_ns)
+            plan = rlink.plan_single_chunk(nbytes)
+            if plan is None:
+                yield from rlink.serialize("down", nbytes)
+            else:
+                ns, wire = plan
+                res = rlink._dirs["down"]
+                yield res.acquire()
+                try:
+                    yield self.sim.timeout(ns)
+                finally:
+                    res.release()
+                rlink.wire_bytes["down"] += wire
+            yield self.sim.timeout(rlink.params.propagation_ns)
             self.traffic.record(requester.name, nbytes)
             return data
         finally:
@@ -184,33 +233,57 @@ class PcieFabric:
         if data is None and nbytes is None:
             raise PCIeError("dma_write needs data or nbytes")
         if data is not None:
-            arr = as_bytes_array(data)
-            nbytes = len(arr)
-        else:
-            arr = None
+            # BytesLike all support len(); conversion to an array is left to
+            # whichever consumer actually stores the bytes (hot timing-only
+            # writes never pay for it).
+            nbytes = len(data)
         if nbytes <= 0:
             raise PCIeError(f"dma_write of {nbytes} bytes")
         self.iommu.check(requester.name, addr, nbytes)
         target, offset = self._decode(addr, nbytes)
+        rlink = requester.link
 
         # Posted: data climbs the requester link, crosses the RC...
-        yield from requester.link.serialize("up", nbytes)
+        # (single-chunk serialize inlined, as in _dma_read above)
+        plan = rlink.plan_single_chunk(nbytes)
+        if plan is None:
+            yield from rlink.serialize("up", nbytes)
+        else:
+            ns, wire = plan
+            res = rlink._dirs["up"]
+            yield res.acquire()
+            try:
+                yield self.sim.timeout(ns)
+            finally:
+                res.release()
+            rlink.wire_bytes["up"] += wire
         yield self.sim.timeout(
-            requester.link.params.propagation_ns + self.rc_forward_ns)
+            rlink.params.propagation_ns + self.rc_forward_ns)
         self.traffic.record(requester.name, nbytes)
 
         if isinstance(target, _HostMemTarget):
-            if arr is not None:
-                yield from target.mem.timed_write(offset, data=arr)
+            if data is not None:
+                yield from target.mem.timed_write(offset, data=data)
             else:
                 yield from target.mem.timed_write(offset, nbytes=nbytes)
             self.traffic.record(HOST_SEGMENT, nbytes)
         elif isinstance(target, _BarTarget):
             peer = target.endpoint
             # ...and descends the peer link (P2P).
-            yield from peer.link.serialize("down", nbytes)
+            plan = peer.link.plan_single_chunk(nbytes)
+            if plan is None:
+                yield from peer.link.serialize("down", nbytes)
+            else:
+                ns, wire = plan
+                res = peer.link._dirs["down"]
+                yield res.acquire()
+                try:
+                    yield self.sim.timeout(ns)
+                finally:
+                    res.release()
+                peer.link.wire_bytes["down"] += wire
             yield self.sim.timeout(peer.link.params.propagation_ns)
-            yield from target.handler.bar_write(offset, data=arr, nbytes=nbytes)
+            yield from target.handler.bar_write(offset, data=data, nbytes=nbytes)
             self.traffic.record(peer.name, nbytes)
         else:  # pragma: no cover
             raise PCIeError(f"unroutable target {target!r}")

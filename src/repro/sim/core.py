@@ -6,6 +6,23 @@ integer count of nanoseconds.  Determinism is guaranteed by a monotonically
 increasing sequence number used as a heap tie-breaker, so two runs of the same
 model always interleave identically.
 
+Hot-path design (see DESIGN.md §5 for the full invariants)
+----------------------------------------------------------
+The kernel optimizes the overwhelmingly common pattern — one process
+waiting on one event — without changing observable scheduling semantics:
+
+* every :class:`Event` carries a *single-waiter slot* (``_waiter``); the
+  callback list is only materialized for the second registration onward,
+  so the typical resume allocates neither a list nor a closure;
+* :meth:`Process._resume` drives ``gen.send`` / ``gen.throw`` directly
+  instead of building a lambda per step;
+* :class:`Timeout` inlines its scheduling and skips ``operator.index``
+  for exact ``int`` delays (the only type the hot paths produce);
+* :meth:`Simulator.run` / :meth:`run_until` hoist the ``trace_hook``
+  check and inline event processing for plain ``Event``/``Timeout``
+  instances; subclasses with processing hooks (``Process``,
+  ``Condition``) still go through the virtual methods.
+
 Example
 -------
 >>> sim = Simulator()
@@ -22,8 +39,8 @@ Example
 
 from __future__ import annotations
 
-import heapq
 import operator
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 from ..errors import SimulationError
@@ -50,13 +67,18 @@ class Event:
     the same timestamp, after currently scheduled work).
     """
 
-    __slots__ = ("sim", "_value", "_callbacks", "_exc")
+    __slots__ = ("sim", "_value", "_exc", "_waiter", "_callbacks", "_processed")
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
         self._value: Any = _PENDING
         self._exc: Optional[BaseException] = None
-        self._callbacks: Optional[List[Callable[["Event"], None]]] = []
+        #: fast path: the single Process waiting on this event, if the
+        #: process registered before any callback did (the common case).
+        self._waiter: Optional["Process"] = None
+        #: extra callbacks; allocated lazily on the second registration.
+        self._callbacks: Optional[List[Callable[["Event"], None]]] = None
+        self._processed = False
 
     @property
     def triggered(self) -> bool:
@@ -66,7 +88,7 @@ class Event:
     @property
     def processed(self) -> bool:
         """True once the event's callbacks have run."""
-        return self._callbacks is None
+        return self._processed
 
     @property
     def value(self) -> Any:
@@ -85,7 +107,9 @@ class Event:
         if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._value = value
-        self.sim._schedule(self)
+        sim = self.sim
+        sim._seq += 1
+        heappush(sim._heap, (sim._now, sim._seq, self))
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -96,7 +120,9 @@ class Event:
             raise TypeError(f"fail() needs an exception, got {exc!r}")
         self._value = exc
         self._exc = exc
-        self.sim._schedule(self)
+        sim = self.sim
+        sim._seq += 1
+        heappush(sim._heap, (sim._now, sim._seq, self))
         return self
 
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
@@ -105,8 +131,10 @@ class Event:
         If the event has already been processed the callback runs
         synchronously right away.
         """
-        if self._callbacks is None:
+        if self._processed:
             fn(self)
+        elif self._callbacks is None:
+            self._callbacks = [fn]
         else:
             self._callbacks.append(fn)
 
@@ -114,8 +142,17 @@ class Event:
         """Hook run just before callbacks (used by deferred-value events)."""
 
     def _process_callbacks(self) -> None:
-        callbacks, self._callbacks = self._callbacks, None
-        if callbacks:
+        # Invariant: the waiter slot always holds the *earliest*
+        # registration (a slot is only taken while the callback list is
+        # empty), so waiter-then-callbacks preserves registration order.
+        self._processed = True
+        waiter = self._waiter
+        if waiter is not None:
+            self._waiter = None
+            waiter._resume(self)
+        callbacks = self._callbacks
+        if callbacks is not None:
+            self._callbacks = None
             for fn in callbacks:
                 fn(self)
 
@@ -136,21 +173,32 @@ class Timeout(Event):
     __slots__ = ("delay", "_timeout_value")
 
     def __init__(self, sim: "Simulator", delay: int, value: Any = None) -> None:
-        try:
-            # The clock is integer ns: accept anything integral (int, np.int64)
-            # and reject floats at the source — see repro.units rounding policy.
-            delay = operator.index(delay)
-        except TypeError:
-            raise TypeError(
-                f"timeout delay must be an integer ns count, got "
-                f"{delay!r}; apply the round-up policy from repro.units "
-                f"(ns_for_bytes / ns_ceil)") from None
+        if type(delay) is not int:
+            try:
+                # The clock is integer ns: accept anything integral (int,
+                # np.int64) and reject floats at the source — see
+                # repro.units rounding policy.
+                delay = operator.index(delay)
+            except TypeError:
+                raise TypeError(
+                    f"timeout delay must be an integer ns count, got "
+                    f"{delay!r}; apply the round-up policy from repro.units "
+                    f"(ns_for_bytes / ns_ceil)") from None
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim)
+        # Inlined Event.__init__ + Simulator._schedule: one attribute batch
+        # and a direct heap push (this constructor is the hottest allocation
+        # site in the whole simulator).
+        self.sim = sim
+        self._value = _PENDING
+        self._exc = None
+        self._waiter = None
+        self._callbacks = None
+        self._processed = False
         self.delay = delay
         self._timeout_value = value
-        sim._schedule(self, delay=delay)
+        sim._seq += 1
+        heappush(sim._heap, (sim._now + delay, sim._seq, self))
 
     def _before_process(self) -> None:
         if self._value is _PENDING:
@@ -197,9 +245,10 @@ class Process(Event):
         self._gen = gen
         self._waiting_on: Optional[Event] = None
         self.name = name or getattr(gen, "__name__", "process")
-        # Kick off at the current time.
+        # Kick off at the current time (via the bootstrap's waiter slot —
+        # _resume sends the event value, None, starting the generator).
         bootstrap = Event(sim)
-        bootstrap.add_callback(self._resume)
+        bootstrap._waiter = self
         bootstrap.succeed()
 
     @property
@@ -225,32 +274,56 @@ class Process(Event):
         if not self.is_alive or self._waiting_on is not waited:
             return  # the awaited event fired before the interrupt landed
         self._waiting_on = None
-        self._step(lambda: self._gen.throw(Interrupt(cause)))
-
-    def _resume(self, event: Event) -> None:
-        if not self.is_alive:
-            return  # stale wakeup after the process already finished
-        if self._waiting_on is not event and self._waiting_on is not None:
-            return  # stale wakeup after an interrupt
-        self._waiting_on = None
-        if event._exc is not None:
-            self._step(lambda: self._gen.throw(event._exc))
-        else:
-            self._step(lambda: self._gen.send(event._value))
-
-    def _step(self, advance: Callable[[], Any]) -> None:
+        gen = self._gen
         try:
-            target = advance()
+            target = gen.throw(Interrupt(cause))
         except StopIteration as stop:
             self._finish(stop.value)
-            return
-        except Interrupt as exc:
-            # Process let an interrupt escape: treat as failure.
-            self._fail_process(exc)
             return
         except Exception as exc:
             self._fail_process(exc)
             return
+        self._wait_on(target)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with *event*'s outcome (the hot path).
+
+        Drives ``gen.send`` / ``gen.throw`` directly — no per-step closure.
+        """
+        if self._value is not _PENDING:
+            return  # stale wakeup after the process already finished
+        waiting = self._waiting_on
+        if waiting is not event and waiting is not None:
+            return  # stale wakeup after an interrupt
+        self._waiting_on = None
+        gen = self._gen
+        exc = event._exc
+        try:
+            if exc is None:
+                target = gen.send(event._value)
+            else:
+                target = gen.throw(exc)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except Exception as caught:
+            # Includes an Interrupt the process let escape: treat as failure.
+            self._fail_process(caught)
+            return
+        # Inlined _wait_on (one call per resume adds up on the hot path).
+        if isinstance(target, Event):
+            self._waiting_on = target
+            if target._processed:
+                self._resume(target)
+            elif target._waiter is None and target._callbacks is None:
+                target._waiter = self
+            else:
+                target.add_callback(self._resume)
+        else:
+            self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        """Register this process as waiting on the yielded *target*."""
         if not isinstance(target, Event):
             exc = SimulationError(
                 f"process {self.name} yielded {target!r}, expected an Event")
@@ -258,7 +331,14 @@ class Process(Event):
             self._fail_process(exc)
             return
         self._waiting_on = target
-        target.add_callback(self._resume)
+        if target._processed:
+            # Already-processed event (e.g. a free Resource grant): resume
+            # synchronously, like add_callback on a processed event would.
+            self._resume(target)
+        elif target._waiter is None and target._callbacks is None:
+            target._waiter = self
+        else:
+            target.add_callback(self._resume)
 
     def _finish(self, value: Any) -> None:
         self._value = value
@@ -273,7 +353,7 @@ class Process(Event):
         # A crash is "handled" when some other process was waiting on us
         # (the exception is thrown into that process); otherwise it must
         # surface from Simulator.run().
-        handled = bool(self._callbacks)
+        handled = self._waiter is not None or bool(self._callbacks)
         super()._process_callbacks()
         if self._exc is not None and not handled:
             self.sim._crashed.append((self, self._exc))
@@ -360,13 +440,44 @@ class Simulator:
 
     # -- scheduling ---------------------------------------------------------
     def _schedule(self, event: Event, delay: int = 0) -> None:
-        when = self._now + operator.index(delay)
+        if delay:
+            if type(delay) is not int:
+                delay = operator.index(delay)
+            when = self._now + delay
+        else:
+            when = self._now
         self._seq += 1
-        heapq.heappush(self._heap, (when, self._seq, event))
+        heappush(self._heap, (when, self._seq, event))
+
+    def _process_event(self, event: Event) -> None:
+        """Process one popped event; inlines the common leaf-event types.
+
+        ``Event`` and ``Timeout`` are processed without the two virtual
+        calls; subclasses with hooks (``Process`` crash bookkeeping,
+        future overrides) dispatch normally.
+        """
+        cls = event.__class__
+        if cls is Timeout or cls is Event:
+            if event._value is _PENDING:
+                # only a pending Timeout can reach the heap untriggered
+                event._value = event._timeout_value  # type: ignore[attr-defined]
+            event._processed = True
+            waiter = event._waiter
+            if waiter is not None:
+                event._waiter = None
+                waiter._resume(event)
+            callbacks = event._callbacks
+            if callbacks is not None:
+                event._callbacks = None
+                for fn in callbacks:
+                    fn(event)
+        else:
+            event._before_process()
+            event._process_callbacks()
 
     def step(self) -> None:
         """Process the next scheduled event."""
-        when, _seq, event = heapq.heappop(self._heap)
+        when, _seq, event = heappop(self._heap)
         if when < self._now:
             raise SimulationError("time went backwards")  # pragma: no cover
         self._now = when
@@ -374,6 +485,11 @@ class Simulator:
             self.trace_hook(when, event)
         event._before_process()
         event._process_callbacks()
+
+    def _raise_crash(self) -> None:
+        proc, exc = self._crashed.pop(0)
+        raise SimulationError(
+            f"process {proc.name!r} crashed at t={self._now}") from exc
 
     def run(self, until: Optional[int] = None) -> None:
         """Run until the heap drains, or until time *until* (ns) is reached.
@@ -384,14 +500,47 @@ class Simulator:
         exactly at *until* is still processed.  Raises the first exception
         that escaped a process, if any.
         """
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
-                break
-            self.step()
-            if self._crashed:
-                proc, exc = self._crashed.pop(0)
-                raise SimulationError(
-                    f"process {proc.name!r} crashed at t={self._now}") from exc
+        heap = self._heap
+        crashed = self._crashed
+        if until is not None or self.trace_hook is not None:
+            process_event = self._process_event
+            while heap:
+                if until is not None and heap[0][0] > until:
+                    break
+                if self.trace_hook is not None:
+                    self.step()
+                else:
+                    when, _seq, event = heappop(heap)
+                    self._now = when
+                    process_event(event)
+                if crashed:
+                    self._raise_crash()
+        else:
+            # Specialized drain loop: no bound, no tracing — event
+            # processing for the two leaf classes is inlined (this loop is
+            # the single hottest code in the simulator).
+            while heap:
+                when, _seq, event = heappop(heap)
+                self._now = when
+                cls = event.__class__
+                if cls is Timeout or cls is Event:
+                    if event._value is _PENDING:
+                        event._value = event._timeout_value  # type: ignore[attr-defined]
+                    event._processed = True
+                    waiter = event._waiter
+                    if waiter is not None:
+                        event._waiter = None
+                        waiter._resume(event)
+                    callbacks = event._callbacks
+                    if callbacks is not None:
+                        event._callbacks = None
+                        for fn in callbacks:
+                            fn(event)
+                else:
+                    event._before_process()
+                    event._process_callbacks()
+                if crashed:
+                    self._raise_crash()
         # Single clock-advance policy for both exit paths (drained heap and
         # break-before-future-event): advance to `until`, never backwards.
         if until is not None and until > self._now:
@@ -404,16 +553,47 @@ class Simulator:
         perpetual background processes (pollers, device engines) keep the
         heap populated.
         """
-        while self._heap and not event.triggered:
-            if until is not None and self._heap[0][0] > until:
-                if until > self._now:
-                    self._now = until
-                return
-            self.step()
-            if self._crashed:
-                proc, exc = self._crashed.pop(0)
-                raise SimulationError(
-                    f"process {proc.name!r} crashed at t={self._now}") from exc
+        heap = self._heap
+        crashed = self._crashed
+        if until is not None or self.trace_hook is not None:
+            process_event = self._process_event
+            while heap and event._value is _PENDING:
+                if until is not None and heap[0][0] > until:
+                    if until > self._now:
+                        self._now = until
+                    return
+                if self.trace_hook is not None:
+                    self.step()
+                else:
+                    when, _seq, popped = heappop(heap)
+                    self._now = when
+                    process_event(popped)
+                if crashed:
+                    self._raise_crash()
+            return
+        # Specialized loop mirroring run()'s drain loop (see comment there).
+        while heap and event._value is _PENDING:
+            when, _seq, popped = heappop(heap)
+            self._now = when
+            cls = popped.__class__
+            if cls is Timeout or cls is Event:
+                if popped._value is _PENDING:
+                    popped._value = popped._timeout_value  # type: ignore[attr-defined]
+                popped._processed = True
+                waiter = popped._waiter
+                if waiter is not None:
+                    popped._waiter = None
+                    waiter._resume(popped)
+                callbacks = popped._callbacks
+                if callbacks is not None:
+                    popped._callbacks = None
+                    for fn in callbacks:
+                        fn(popped)
+            else:
+                popped._before_process()
+                popped._process_callbacks()
+            if crashed:
+                self._raise_crash()
 
     def run_process(self, gen: Generator, until: Optional[int] = None) -> Any:
         """Convenience: run *gen* as a process to completion, return its value.

@@ -13,6 +13,8 @@ import math
 from collections import deque
 from typing import Any, Deque, Iterator, Optional, Tuple
 
+from heapq import heappush
+
 from ..errors import SimulationError
 from .core import Event, Simulator
 
@@ -136,6 +138,8 @@ class Resource:
         self.name = name
         self._in_use = 0
         self._waiters: Deque[Event] = deque()
+        #: single registered contention watcher (see :meth:`watch_contention`)
+        self._contention: Optional[Event] = None
 
     @property
     def in_use(self) -> int:
@@ -148,13 +152,29 @@ class Resource:
         return len(self._waiters)
 
     def acquire(self) -> Event:
-        """Event firing when a slot is granted to the caller."""
-        ev = Event(self.sim)
+        """Event firing when a slot is granted to the caller.
+
+        A free-capacity grant succeeds immediately but is still *scheduled*
+        (delivered through the event heap, never left pending), so grants
+        keep their sequence-number position relative to every other event
+        at the same timestamp.  A fully synchronous grant would resume the
+        caller ahead of already-scheduled same-timestamp events and change
+        the deterministic interleaving (DESIGN.md §5).
+        """
+        sim = self.sim
+        ev = Event(sim)
         if self._in_use < self.capacity:
             self._in_use += 1
-            ev.succeed()
-        else:
-            self._waiters.append(ev)
+            # inlined ev.succeed() — this is the hottest grant path
+            ev._value = None
+            sim._seq += 1
+            heappush(sim._heap, (sim._now, sim._seq, ev))
+            return ev
+        self._waiters.append(ev)
+        watcher = self._contention
+        if watcher is not None:
+            self._contention = None
+            watcher.succeed()
         return ev
 
     def release(self) -> None:
@@ -165,6 +185,29 @@ class Resource:
             self._waiters.popleft().succeed()
         else:
             self._in_use -= 1
+
+    def watch_contention(self) -> Event:
+        """Event firing when the next acquire has to queue behind a holder.
+
+        Used by *elastic* holders (e.g. :meth:`repro.pcie.link.PcieLink.
+        serialize`) that batch their occupancy while uncontended and must
+        fall back to fine-grained interleaving the moment a competitor
+        arrives.  At most one watcher is active at a time — registering a
+        new one replaces the old (which then never fires); callers must
+        :meth:`unwatch_contention` when they stop caring.  If waiters are
+        already queued the returned event is triggered immediately.
+        """
+        ev = Event(self.sim)
+        if self._waiters:
+            ev.succeed()
+        else:
+            self._contention = ev
+        return ev
+
+    def unwatch_contention(self, ev: Event) -> None:
+        """Deregister *ev* if it is still the active contention watcher."""
+        if self._contention is ev:
+            self._contention = None
 
 
 class TokenBucket:

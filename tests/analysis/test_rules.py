@@ -295,6 +295,17 @@ class TestSim004Nondeterminism:
         assert allowed == []
         assert [f.rule_id for f in elsewhere] == ["SIM004"]
 
+    def test_wallclock_allowlist_covers_perf_harness(self):
+        # scripts/perf.py measures real elapsed time by design; the
+        # allowlist must admit it while still flagging other scripts.
+        src = "import time\nt0 = time.perf_counter()\n"
+        harness = analyze_source(
+            src, path="scripts/perf.py", select=["SIM004"])
+        other_script = analyze_source(
+            src, path="scripts/make_figures.py", select=["SIM004"])
+        assert harness == []
+        assert [f.rule_id for f in other_script] == ["SIM004"]
+
     def test_suppression(self):
         assert rule_ids(
             """

@@ -134,3 +134,92 @@ class TestPcieLink:
 
         with pytest.raises(ValueError):
             sim.run_process(body())
+
+
+class TestMidTransferAccounting:
+    """Wire bytes must be credited as chunks cross, not at transfer end.
+
+    Fig 7 resets the counters after warm-up while transfers are in flight;
+    end-of-transfer crediting would attribute the whole transfer to the
+    wrong side of the reset.
+    """
+
+    PARAMS = LinkParams(gen=3, lanes=16, propagation_ns=0)
+
+    def _start_transfer(self, sim, link, payload):
+        def body():
+            yield from link.serialize("up", payload)
+        return sim.process(body())
+
+    def test_counters_advance_per_chunk_mid_transfer(self, sim):
+        link = PcieLink(sim, self.PARAMS)
+        chunk = self.PARAMS.chunk_bytes
+        chunk_ns = ns_for_bytes(chunk, self.PARAMS.raw_gbps)
+        _ = self._start_transfer(sim, link, 64 * KiB)
+        # halfway through the third chunk: exactly two chunks have crossed
+        sim.run(until=2 * chunk_ns + chunk_ns // 2)
+        assert link.crossed_bytes("up") == 2 * chunk
+        sim.run()
+        assert link.wire_bytes["up"] == self.PARAMS.tlp.wire_bytes(64 * KiB)
+
+    def test_reset_mid_transfer_splits_attribution(self, sim):
+        link = PcieLink(sim, self.PARAMS)
+        chunk = self.PARAMS.chunk_bytes
+        chunk_ns = ns_for_bytes(chunk, self.PARAMS.raw_gbps)
+        total_wire = self.PARAMS.tlp.wire_bytes(64 * KiB)
+        _ = self._start_transfer(sim, link, 64 * KiB)
+        sim.run(until=2 * chunk_ns + chunk_ns // 2)
+        link.reset_counters()
+        assert link.total_wire_bytes == 0
+        sim.run()
+        # only the post-reset remainder lands in the fresh counters
+        assert link.wire_bytes["up"] == total_wire - 2 * chunk
+
+    def test_contended_transfers_credit_interleaved_chunks(self, sim):
+        link = PcieLink(sim, self.PARAMS)
+        chunk = self.PARAMS.chunk_bytes
+        chunk_ns = ns_for_bytes(chunk, self.PARAMS.raw_gbps)
+        _ = self._start_transfer(sim, link, 64 * KiB)
+        _ = self._start_transfer(sim, link, 64 * KiB)
+        # chunks complete back to back regardless of which flow owns them
+        sim.run(until=2 * chunk_ns + chunk_ns // 2)
+        assert link.crossed_bytes("up") == 2 * chunk
+        sim.run()
+        assert link.wire_bytes["up"] == 2 * self.PARAMS.tlp.wire_bytes(64 * KiB)
+
+    def test_elastic_span_timing_matches_chunked_sum(self, sim):
+        """An uncontended elastic span must take exactly the sum of the
+        per-chunk round-ups (not one round-up of the total)."""
+        link = PcieLink(sim, self.PARAMS)
+        chunk = self.PARAMS.chunk_bytes
+        total_wire = self.PARAMS.tlp.wire_bytes(64 * KiB)
+        nfull, tail = divmod(total_wire, chunk)
+        expected = nfull * ns_for_bytes(chunk, self.PARAMS.raw_gbps) \
+            + ns_for_bytes(tail, self.PARAMS.raw_gbps)
+        _ = self._start_transfer(sim, link, 64 * KiB)
+        sim.run()
+        assert sim.now == expected
+
+    def test_late_competitor_preempts_at_chunk_boundary(self, sim):
+        """A competitor arriving mid-span gets the wire at the next chunk
+        boundary, exactly as under per-chunk interleaving."""
+        link = PcieLink(sim, self.PARAMS)
+        chunk = self.PARAMS.chunk_bytes
+        chunk_ns = ns_for_bytes(chunk, self.PARAMS.raw_gbps)
+        start = []
+
+        def late_small():
+            yield sim.timeout(chunk_ns + chunk_ns // 2)  # mid 2nd chunk
+            start.append(sim.now)
+            yield from link.serialize("up", 1024)
+            start.append(sim.now)
+
+        _ = self._start_transfer(sim, link, 64 * KiB)
+        _ = sim.process(late_small())
+        sim.run()
+        issued, finished = start
+        wire_small = self.PARAMS.tlp.wire_bytes(1024)
+        small_ns = ns_for_bytes(wire_small, self.PARAMS.raw_gbps)
+        # granted at the 2nd chunk's boundary, i.e. 2 * chunk_ns
+        assert finished == 2 * chunk_ns + small_ns
+        assert issued < 2 * chunk_ns
