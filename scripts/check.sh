@@ -35,6 +35,18 @@ else
     echo "skipped (mypy not installed; pip install -e '.[lint]')"
 fi
 
+echo "== fault smoke (python -m repro.faults) =="
+python -m repro.faults || status=1
+
+echo "== fault ablation (tiny) =="
+python - <<'EOF' || status=1
+from repro.bench.experiments.fault_tolerance import ablation_fault_rate
+from repro.units import MiB
+result = ablation_fault_rate(rand_bytes=1 * MiB, seq_bytes=2 * MiB,
+                             rates=(0.0, 0.05))
+print(result.render())
+EOF
+
 echo "== perf smoke (scripts/perf.py --check) =="
 if [ -f BENCH_sim_kernel.json ]; then
     # Advisory only: a slow host is not a broken tree.

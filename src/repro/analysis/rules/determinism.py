@@ -99,7 +99,29 @@ class NondeterminismSource(Rule):
             if tail in _NUMPY_GLOBAL_STATE:
                 return (f"np.random.{tail}() mutates numpy's global RNG "
                         f"state; use a seeded np.random.default_rng(seed)")
-            if tail in _NUMPY_SEEDABLE and not call.args and not call.keywords:
-                return (f"np.random.{tail}() constructed without a seed; "
-                        f"pass an explicit seed argument")
+            if tail in _NUMPY_SEEDABLE:
+                if not call.args and not call.keywords:
+                    return (f"np.random.{tail}() constructed without a seed; "
+                            f"pass an explicit seed argument")
+                if NondeterminismSource._seed_is_literal_none(call):
+                    return (f"np.random.{tail}() seeded with literal None "
+                            f"draws OS entropy; pass an explicit seed (e.g. "
+                            f"derive one per site as in repro.faults.plan)")
         return None
+
+    @staticmethod
+    def _seed_is_literal_none(call: ast.Call) -> bool:
+        """True when the seed/entropy argument is the literal ``None``.
+
+        ``default_rng(None)`` (and ``seed=None`` / ``entropy=None``) is
+        the documented spelling of "seed from the OS" — exactly as
+        nondeterministic as passing nothing.  Non-literal arguments
+        (e.g. ``plan.seed_for(name)``) are assumed seeded and pass.
+        """
+        def is_none(node: ast.expr) -> bool:
+            return isinstance(node, ast.Constant) and node.value is None
+
+        if call.args and is_none(call.args[0]):
+            return True
+        return any(kw.arg in ("seed", "entropy") and is_none(kw.value)
+                   for kw in call.keywords)

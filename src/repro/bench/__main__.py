@@ -14,6 +14,7 @@ from .experiments.ablations import (ablation_buffer_size,
                                     ablation_flow_control, ablation_gen5,
                                     ablation_hbm, ablation_multi_ssd,
                                     ablation_ooo, ablation_queue_depth)
+from .experiments.fault_tolerance import ablation_fault_rate
 from .experiments.fig4 import run_fig4a, run_fig4b, run_fig4c
 from .experiments.fig6_fig7 import (fig6_from_results, fig7_from_results,
                                     run_case_study_all)
@@ -54,7 +55,8 @@ def main(argv=None) -> int:
 
     for fn in (ablation_queue_depth, ablation_ooo, ablation_gen5,
                ablation_multi_ssd, ablation_hbm, ablation_burst_coalescing,
-               ablation_flow_control, ablation_buffer_size):
+               ablation_flow_control, ablation_buffer_size,
+               ablation_fault_rate):
         t0 = time.time()
         result = fn()
         print(result.render())

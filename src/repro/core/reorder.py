@@ -45,6 +45,13 @@ class RobEntry:
     status: int = 0
     cid: int = -1
     seq: int = -1
+    # -- fault-recovery bookkeeping (repro.faults; unused otherwise) -------
+    #: resubmissions so far
+    retries: int = 0
+    #: a backoff/resubmit process owns this entry right now
+    retry_pending: bool = False
+    #: sim time of the latest (re)submission, for the timeout watchdog
+    last_submit_ns: int = -1
 
     @property
     def ok(self) -> bool:
@@ -60,6 +67,14 @@ class ReorderBuffer:
         if depth < 1 or depth & (depth - 1):
             raise StreamerError(
                 f"ROB depth must be a power of two >= 1, got {depth}")
+        if depth > 0x4000:
+            # The OoO epoch step needs >= 2 disjoint epochs inside the
+            # 15-bit CID space (0x8000 // depth >= 2); at depth 0x8000 the
+            # modulus collapses to 1 and two in-flight commands can share
+            # a CID.  Reject uniformly — no NVMe queue is this deep anyway.
+            raise StreamerError(
+                f"ROB depth must be <= {0x4000:#x} so 15-bit CIDs stay "
+                f"unique across epochs, got {depth}")
         self.sim = sim
         self.depth = depth
         self.name = name
@@ -111,6 +126,22 @@ class ReorderBuffer:
             yield self._slot_kick
 
     # -- completion side -------------------------------------------------------------
+    def peek(self, cid: int) -> Optional[RobEntry]:
+        """The live entry holding *cid*, or None for a stale/unknown cid.
+
+        The fault-recovery path uses this to tolerate late CQEs from
+        command attempts that already timed out and were retried or
+        retired — :meth:`complete` raising on those would kill the run.
+        """
+        entry = self._slots[cid % self.depth]
+        if entry is None or entry.cid != cid:
+            return None
+        return entry
+
+    def live_entries(self) -> List[RobEntry]:
+        """Snapshot of the entries currently occupying slots (any order)."""
+        return [e for e in self._slots if e is not None]
+
     def complete(self, cid: int, status: int) -> None:
         """Mark the command's completion bit (possibly out of order)."""
         slot = cid % self.depth

@@ -22,6 +22,7 @@ from typing import Any, Generator, List, Optional, Tuple
 import numpy as np
 
 from ..errors import StreamerError
+from ..faults.plan import FaultPlan
 from ..fpga.axi import StreamFlit
 from ..fpga.platform import FpgaPlatform
 from ..fpga.resources import StreamerAreaModel
@@ -33,6 +34,7 @@ from ..nvme.queues import doorbell_offset
 from ..nvme.spec import CQE_BYTES, IoOpcode, SQE_BYTES, StatusCode
 from ..pcie.root_complex import BarHandler
 from ..sim.core import Event, Process, Simulator
+from ..sim.stats import FaultStats
 from ..sim.resources import Resource
 from ..units import KiB, PAGE
 from .buffer_mgr import ExtentAllocator
@@ -344,6 +346,11 @@ class NvmeStreamer:
         self._started = False
         #: carry real bytes end to end (benchmarks set False for speed)
         self.functional = True
+        #: fault recovery (repro.faults); None = legacy behaviour, no
+        #: extra events or processes anywhere
+        self._fault_plan: Optional[FaultPlan] = None
+        self._fault_stats: Optional[FaultStats] = None
+        self._issue_kick = Event(sim)
 
     # ------------------------------------------------------------- driver API
     def program_doorbell(self, qid: int) -> None:
@@ -365,6 +372,21 @@ class NvmeStreamer:
         _ = self.sim.process(self._read_ingress(), name=f"{self.name}.rd_in")
         _ = self.sim.process(self._write_ingress(), name=f"{self.name}.wr_in")
         _ = self.sim.process(self._retire(), name=f"{self.name}.retire")
+        if self._fault_plan is not None:
+            _ = self.sim.process(self._timeout_watchdog(),
+                                 name=f"{self.name}.wdog")
+
+    def attach_faults(self, plan: FaultPlan, stats: FaultStats) -> None:
+        """Enable per-command timeout + capped-backoff retry recovery.
+
+        Must be called before :meth:`start`.  Without a plan attached the
+        streamer's behaviour (and event schedule) is untouched.
+        """
+        if self._started:
+            raise StreamerError(
+                f"{self.name}: attach_faults must precede start()")
+        self._fault_plan = plan
+        self._fault_stats = stats
 
     # --------------------------------------------------------- buffer plumbing
     def _bus_page_addr(self, kind: str, buf_offset: int) -> int:
@@ -490,20 +512,30 @@ class NvmeStreamer:
     def _submit(self, entry: RobEntry) -> Generator[Event, Any, None]:
         """Generator: claim a ROB slot, build the SQE, ring the doorbell."""
         yield self.sim.timeout(self.config.cmd_process_ns)
-        cid = yield from self.rob.allocate(entry)
-        slot = cid % self.config.queue_depth
+        _ = yield from self.rob.allocate(entry)
+        self.stats.nvme_commands += 1
+        if self._fault_plan is not None:
+            # wake the timeout watchdog: there is work to watch again
+            kick, self._issue_kick = self._issue_kick, Event(self.sim)
+            kick.succeed()
+        yield from self._push_sqe(entry)
+
+    def _push_sqe(self, entry: RobEntry) -> Generator[Event, Any, None]:
+        """Build *entry*'s SQE at the ring tail and ring the SQ doorbell
+        (shared by first submission and fault-recovery resubmission)."""
+        slot = entry.cid % self.config.queue_depth
         npages = -(-entry.nbytes // PAGE)
         prp1, prp2 = self._prp_for(entry.kind, entry.buf_offset, npages, slot)
         sqe = SubmissionEntry(
             opcode=IoOpcode.READ if entry.kind == "read" else IoOpcode.WRITE,
-            cid=cid, prp1=prp1, prp2=prp2)
+            cid=entry.cid, prp1=prp1, prp2=prp2)
         sqe.slba = entry.device_addr // self.lba_bytes
         sqe.nlb = entry.nbytes // self.lba_bytes
         # The SQE lands at the ring *tail* (== cid slot for in-order issue;
-        # with out-of-order retirement the two diverge).
+        # with out-of-order retirement or a resubmission the two diverge).
         self._sq_mem.write(self._sq_tail * SQE_BYTES, sqe.pack())
         self._sq_tail = (self._sq_tail + 1) % self.config.queue_depth
-        self.stats.nvme_commands += 1
+        entry.last_submit_ns = self.sim.now
         # ① -> notify the controller: posted P2P write to its doorbell.
         yield from self.platform.endpoint.dma_write(
             self._db_addr, data=self._sq_tail.to_bytes(4, "little"))
@@ -513,7 +545,10 @@ class NvmeStreamer:
 
     def _on_completion(self, cqe: CompletionEntry) -> None:
         """CQE landed in the completion region (out-of-order, ⑤)."""
-        self.rob.complete(cqe.cid, cqe.status)
+        if self._fault_plan is not None:
+            self._accept_completion(cqe)
+        else:
+            self.rob.complete(cqe.cid, cqe.status)
         # The streamer consumes CQEs on arrival; advance the controller's
         # view of our head in batches (a posted P2P write per batch).
         self._cqes_seen += 1
@@ -530,6 +565,76 @@ class NvmeStreamer:
             yield from self.platform.endpoint.dma_write(
                 self._cq_db_addr, data=head.to_bytes(4, "little"))
         self._cq_db_active = False
+
+    # --------------------------------------------------------- fault recovery
+    def _accept_completion(self, cqe: CompletionEntry) -> None:
+        """Recovery-aware CQE handling: retry failures, tolerate stragglers.
+
+        A CQE whose cid maps to no live, unclaimed entry is a *stale*
+        completion — the answer to an attempt the timeout watchdog already
+        gave up on (possible with injected CQE delays).  A stale SUCCESS
+        for an entry whose retry is still in flight would be equally fine
+        to accept — both attempts did identical work — but we keep the
+        simple rule: whichever attempt's CQE arrives while the entry is
+        unclaimed decides it; later arrivals only bump ``stale_cqes``.
+        """
+        assert self._fault_plan is not None and self._fault_stats is not None
+        entry = self.rob.peek(cqe.cid)
+        if entry is None or entry.done or entry.retry_pending:
+            self._fault_stats.stale_cqes += 1
+            return
+        cfg = self._fault_plan.config
+        if cqe.status != 0 and entry.retries < cfg.retry_limit:
+            self._start_retry(entry)
+            return
+        if cqe.status != 0:
+            self._fault_stats.retry_exhausted += 1
+        self.rob.complete(cqe.cid, cqe.status)
+
+    def _start_retry(self, entry: RobEntry) -> None:
+        assert self._fault_stats is not None
+        entry.retries += 1
+        entry.retry_pending = True
+        self._fault_stats.retries += 1
+        _ = self.sim.process(self._retry_entry(entry),
+                             name=f"{self.name}.retry{entry.cid}")
+
+    def _retry_entry(self, entry: RobEntry) -> Generator[Event, Any, None]:
+        """Backoff, then resubmit the command under its original cid."""
+        assert self._fault_plan is not None
+        yield self.sim.timeout(
+            self._fault_plan.config.backoff_ns(entry.retries))
+        # last_submit_ns is restamped before _push_sqe's first yield, so
+        # the watchdog can never see a cleared flag with a stale stamp
+        entry.retry_pending = False
+        yield from self._push_sqe(entry)
+
+    def _timeout_watchdog(self) -> Generator[Event, Any, None]:
+        """Scan for commands whose attempt outlived the per-command
+        deadline; retry them (or finalize with COMMAND_ABORTED once the
+        budget is spent).  Parks on the issue kick while the ROB holds no
+        undone entry so idle simulations can drain their event heaps.
+        """
+        assert self._fault_plan is not None and self._fault_stats is not None
+        cfg = self._fault_plan.config
+        period = max(1, cfg.command_timeout_ns // 2)
+        while True:
+            if not any(not e.done for e in self.rob.live_entries()):
+                yield self._issue_kick
+                continue
+            yield self.sim.timeout(period)
+            now = self.sim.now
+            for entry in self.rob.live_entries():
+                if (entry.done or entry.retry_pending
+                        or now - entry.last_submit_ns < cfg.command_timeout_ns):
+                    continue
+                self._fault_stats.timeouts += 1
+                if entry.retries < cfg.retry_limit:
+                    self._start_retry(entry)
+                else:
+                    self._fault_stats.retry_exhausted += 1
+                    self.rob.complete(entry.cid,
+                                      int(StatusCode.COMMAND_ABORTED))
 
     # ---------------------------------------------------------------- ingress
     def _read_ingress(self) -> Generator[Event, Any, None]:

@@ -57,6 +57,8 @@ def build_snacc_system(sim: Simulator,
                             pinned_allocator=host.allocator,
                             host_mem_base=HOST_MEM_BASE)
     streamer.functional = host_config.functional
+    if host.fault_plan is not None:
+        streamer.attach_faults(host.fault_plan, host.fault_stats)
     driver = SnaccDriver(sim, host.fabric, host.ssd, streamer,
                          host.allocator, HOST_MEM_BASE)
     user = SnaccUserPort(sim, streamer.rd_cmd, streamer.rd_data,

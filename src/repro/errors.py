@@ -51,6 +51,10 @@ class NamespaceError(NVMeError):
     """LBA out of range or bad namespace id."""
 
 
+class RetryExhaustedError(NVMeError):
+    """A command kept failing/timing out past its retry budget."""
+
+
 class StreamerError(ReproError):
     """SNAcc NVMe Streamer misuse (bad command, buffer overflow...)."""
 

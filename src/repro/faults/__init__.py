@@ -1,0 +1,15 @@
+"""Deterministic fault injection across the NVMe-PCIe-Ethernet stack.
+
+:class:`FaultConfig` holds the injection rates and the recovery policy;
+:class:`FaultPlan` turns it into per-site seeded decision streams.  Wiring
+happens in :func:`repro.systems.build_host_system` (controller + SSD link)
+and :func:`repro.core.system.build_snacc_system` (streamer recovery) via
+``HostSystemConfig(faults=FaultConfig(...))``; fault/retry/timeout counts
+accumulate in :class:`repro.sim.stats.FaultStats`.
+
+``python -m repro.faults`` runs the smoke gate (see ``__main__``).
+"""
+
+from .plan import FaultConfig, FaultPlan, FaultSite
+
+__all__ = ["FaultConfig", "FaultPlan", "FaultSite"]

@@ -1,0 +1,168 @@
+"""Seeded fault plan: deterministic-by-construction fault injection.
+
+The determinism contract (DESIGN.md §6)
+---------------------------------------
+Every injection point in the model owns a :class:`FaultSite` — a private
+RNG stream whose seed is derived **at construction time** from exactly two
+inputs: the plan seed and the site's stable name.  Nothing about the event
+schedule feeds back into the stream:
+
+* the k-th decision a site makes depends only on ``(seed, site name, k)``,
+  never on what other sites decided or how their events interleaved;
+* site seeds are order-independent (``SeedSequence((seed, crc32(name)))``),
+  so attaching components in a different order cannot shuffle streams;
+* a site draws from its stream on **every** query (even when the decision
+  is a no-op at rate 0 for one of several fault kinds sharing the site),
+  so the mapping from command k to stream position never drifts.
+
+Because the simulator itself schedules identically across runs (SIM001—
+SIM005, ``tests/sim/test_determinism.py``), the same seed therefore
+reproduces the exact same faults — and the exact same recovery — run after
+run.  With every rate at zero no plan is attached anywhere and the model
+executes the identical event sequence it would without this module.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["FaultConfig", "FaultPlan", "FaultSite"]
+
+#: fields of :class:`FaultConfig` that are injection probabilities
+_RATE_FIELDS = (
+    "nvme_cmd_fail_rate", "nvme_cqe_delay_rate",
+    "pcie_tlp_loss_rate", "pcie_tlp_corrupt_rate",
+    "eth_data_drop_rate", "eth_ctrl_drop_rate",
+)
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Injection rates and recovery policy of one fault plan.
+
+    All rates are per-decision probabilities in ``[0, 1]``: per IO command
+    at the controller, per TLP chunk on a PCIe link direction, per frame
+    on an Ethernet hop.  A config with every rate at zero is *disabled* —
+    builders then attach no plan at all and the simulation is bit-identical
+    to one that never heard of faults.
+    """
+
+    # -- injection ---------------------------------------------------------
+    #: probability an IO command completes with a media-error status
+    nvme_cmd_fail_rate: float = 0.0
+    #: probability a command's CQE is delayed by :attr:`nvme_cqe_delay_ns`
+    nvme_cqe_delay_rate: float = 0.0
+    nvme_cqe_delay_ns: int = 50_000
+    #: probability one TLP chunk is lost on the wire (replayed after an
+    #: ack timeout, like the data link layer's replay buffer)
+    pcie_tlp_loss_rate: float = 0.0
+    #: probability one TLP chunk arrives corrupted (NAK -> immediate replay)
+    pcie_tlp_corrupt_rate: float = 0.0
+    #: probability a data frame dies between two Ethernet MACs
+    eth_data_drop_rate: float = 0.0
+    #: probability a PAUSE control frame dies (the lost-XON scenario)
+    eth_ctrl_drop_rate: float = 0.0
+
+    # -- recovery ----------------------------------------------------------
+    #: per-command deadline before the issuer retries (streamer/SPDK)
+    command_timeout_ns: int = 10_000_000
+    #: resubmissions per command before surfacing a typed error
+    retry_limit: int = 4
+    #: capped exponential backoff: min(cap, base << (attempt - 1))
+    backoff_base_ns: int = 2_000
+    backoff_cap_ns: int = 500_000
+    #: data-link ack timeout before a lost TLP chunk is replayed
+    pcie_replay_timeout_ns: int = 1_000
+    #: replays of one chunk before the link raises PCIeError
+    pcie_replay_limit: int = 8
+
+    #: root seed every site stream derives from
+    seed: int = 0xFA17
+
+    def __post_init__(self) -> None:
+        for name in _RATE_FIELDS:
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {rate}")
+        for name in ("nvme_cqe_delay_ns", "backoff_base_ns",
+                     "backoff_cap_ns", "pcie_replay_timeout_ns"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be >= 0")
+        if self.command_timeout_ns <= 0:
+            # a zero deadline would declare every command timed out the
+            # moment it is submitted
+            raise ConfigError("command_timeout_ns must be > 0")
+        if self.retry_limit < 0 or self.pcie_replay_limit < 0:
+            raise ConfigError("retry limits must be >= 0")
+        if self.backoff_cap_ns < self.backoff_base_ns:
+            raise ConfigError("backoff_cap_ns must be >= backoff_base_ns")
+        if self.seed < 0:
+            raise ConfigError("seed must be >= 0")
+
+    @property
+    def enabled(self) -> bool:
+        """True when any injection rate is non-zero."""
+        return any(getattr(self, name) > 0.0 for name in _RATE_FIELDS)
+
+    def backoff_ns(self, attempt: int) -> int:
+        """Backoff before resubmission *attempt* (1-based), capped."""
+        return min(self.backoff_cap_ns,
+                   self.backoff_base_ns << max(0, attempt - 1))
+
+    def describe(self) -> str:
+        """Compact non-default-fields label for experiment tables."""
+        parts = []
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value != f.default:
+                parts.append(f"{f.name}={value}")
+        return ", ".join(parts) or "disabled"
+
+
+class FaultSite:
+    """One injection point's private, pre-seeded decision stream."""
+
+    __slots__ = ("name", "draws", "_rng")
+
+    def __init__(self, name: str, rng: np.random.Generator) -> None:
+        self.name = name
+        #: decisions drawn so far (stream position; useful in tests)
+        self.draws = 0
+        self._rng = rng
+
+    def flip(self, rate: float) -> bool:
+        """The stream's next decision: True with probability *rate*.
+
+        Always consumes one draw, so a site queried for several fault
+        kinds keeps a fixed command-to-stream-position mapping even when
+        some of the rates are zero.
+        """
+        self.draws += 1
+        return bool(self._rng.random() < rate)
+
+
+class FaultPlan:
+    """Factory of per-site decision streams for one seeded fault config."""
+
+    def __init__(self, config: FaultConfig) -> None:
+        self.config = config
+
+    def seed_for(self, site_name: str) -> np.random.SeedSequence:
+        """The seed of *site_name*'s stream — a pure function of the plan
+        seed and the name (order-independent across sites)."""
+        key = zlib.crc32(site_name.encode("utf-8"))
+        return np.random.SeedSequence((self.config.seed, key))
+
+    def site(self, name: str) -> FaultSite:
+        """Create *name*'s decision stream.
+
+        Each injection point must call this once and keep the returned
+        site: calling twice with the same name yields two identical,
+        independent streams (same seed), which is almost never wanted.
+        """
+        return FaultSite(name, np.random.default_rng(self.seed_for(name)))

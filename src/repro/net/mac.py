@@ -54,6 +54,10 @@ class EthernetMac:
         self._tx = Resource(sim, 1, name=f"{name}.tx")
         self._tx_paused = False
         self._pause_kick = Event(sim)
+        #: when the current XOFF's quanta run out (802.3x: a pause is for
+        #: quanta x 512 bit-times, then TX resumes even without an XON)
+        self._pause_until = 0
+        self._pause_timer_active = False
         # RX state
         self._rx_frames = []
         self._rx_bytes = 0
@@ -65,6 +69,25 @@ class EthernetMac:
         self.dropped_frames = 0
         self.pause_frames_sent = 0
         self.tx_pause_ns = 0
+        # fault injection (repro.faults); None = frames always delivered
+        self._fault_cfg = None
+        self._fault_stats = None
+        self._fault_data_site = None
+        self._fault_ctrl_site = None
+
+    def attach_faults(self, plan, stats) -> None:
+        """Inject seeded data/control frame drops on this MAC's TX hop.
+
+        A no-op unless an Ethernet rate is non-zero.  Control-frame drops
+        are what exercise the lost-XON recovery (pause-quanta expiry).
+        """
+        cfg = plan.config
+        if cfg.eth_data_drop_rate <= 0 and cfg.eth_ctrl_drop_rate <= 0:
+            return
+        self._fault_cfg = cfg
+        self._fault_stats = stats
+        self._fault_data_site = plan.site(f"{self.name}.eth.data")
+        self._fault_ctrl_site = plan.site(f"{self.name}.eth.ctrl")
 
     def connect(self, other: "EthernetMac") -> None:
         """Join two MACs with a full-duplex link."""
@@ -95,6 +118,10 @@ class EthernetMac:
 
     def _propagate(self, frame: EthernetFrame):
         yield self.sim.timeout(self.propagation_ns)
+        if self._fault_data_site is not None and self._fault_data_site.flip(
+                self._fault_cfg.eth_data_drop_rate):
+            self._fault_stats.eth_data_dropped += 1
+            return
         self.peer._on_frame(frame)
 
     def _send_control(self, quanta: int) -> None:
@@ -106,21 +133,62 @@ class EthernetMac:
         yield self.sim.timeout(
             ns_for_bytes(pause_frame(quanta).wire_bytes, self.rate_gbps)
             + self.propagation_ns)
+        if self._fault_ctrl_site is not None and self._fault_ctrl_site.flip(
+                self._fault_cfg.eth_ctrl_drop_rate):
+            self._fault_stats.eth_ctrl_dropped += 1
+            return
         self.peer._on_frame(pause_frame(quanta))
+
+    def pause_quanta_ns(self, quanta: int) -> int:
+        """Duration of *quanta* pause quanta (one quantum = 512 bit-times)."""
+        return ns_for_bytes(quanta * 64, self.rate_gbps)
+
+    def _pause_expiry(self):
+        """Expire the pause once its quanta run out (802.3x).
+
+        One watchdog covers any number of XOFF refreshes: each XOFF pushes
+        ``_pause_until`` forward and the loop re-sleeps.  An XON simply
+        falsifies ``_tx_paused`` and the watchdog exits at its next wake —
+        it never touches the data path, so runs that always get their XON
+        in time are bit-identical to runs without the watchdog.
+        """
+        while self._tx_paused and self.sim.now < self._pause_until:
+            yield self.sim.timeout(self._pause_until - self.sim.now)
+        self._pause_timer_active = False
+        if self._tx_paused:
+            # quanta elapsed with no refresh and no XON (e.g. the XON was
+            # lost): resume transmission, as the spec prescribes
+            self._tx_paused = False
+            kick, self._pause_kick = self._pause_kick, Event(self.sim)
+            kick.succeed()
 
     # ------------------------------------------------------------------- RX
     def _on_frame(self, frame: EthernetFrame) -> None:
         if frame.is_pause:
             if frame.pause_quanta > 0:
                 self._tx_paused = True
+                self._pause_until = (self.sim.now
+                                     + self.pause_quanta_ns(frame.pause_quanta))
+                if not self._pause_timer_active:
+                    self._pause_timer_active = True
+                    _ = self.sim.process(self._pause_expiry(),
+                                         name=f"{self.name}.pexp")
             else:
                 self._tx_paused = False
                 kick, self._pause_kick = self._pause_kick, Event(self.sim)
                 kick.succeed()
             return
         if self._rx_bytes + frame.payload_bytes > self.rx_fifo_bytes:
-            # Overrun: without flow control this is how frames die.
+            # Overrun: without flow control this is how frames die.  With
+            # it, an overrun is the strongest congestion signal there is —
+            # pause the sender even if occupancy sits below the high
+            # watermark (a single frame can jump from below-high to over
+            # the cap, and the watermark check below is never reached on
+            # this path).
             self.dropped_frames += 1
+            if self.flow_control and not self._xoff_sent:
+                self._xoff_sent = True
+                self._send_control(0xFFFF)
             return
         self._rx_frames.append(frame)
         self._rx_bytes += frame.payload_bytes

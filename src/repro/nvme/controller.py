@@ -119,6 +119,23 @@ class NvmeController(BarHandler):
         #: the controller's shallow payload-fetch pipeline (see _exec_write)
         self._fetch_sem = Resource(sim, self.profile.data_fetch_depth,
                                    name=f"{name}.fetch")
+        #: fault injection (repro.faults); None = no extra work anywhere
+        self._fault_site = None
+        self._fault_cfg = None
+        self._fault_stats = None
+
+    def attach_faults(self, plan, stats) -> None:
+        """Inject seeded command failures / CQE delays (repro.faults).
+
+        A no-op unless the plan carries a non-zero NVMe rate, so a fully
+        disabled plan leaves the execution path untouched.
+        """
+        cfg = plan.config
+        if cfg.nvme_cmd_fail_rate <= 0 and cfg.nvme_cqe_delay_rate <= 0:
+            return
+        self._fault_site = plan.site(f"{self.name}.cmd")
+        self._fault_cfg = cfg
+        self._fault_stats = stats
 
     # ------------------------------------------------------------------ admin
     def configure_admin_queues(self, asq_addr: int, asq_entries: int,
@@ -239,9 +256,30 @@ class NvmeController(BarHandler):
             status, result = StatusCode.INVALID_FIELD, 0
         finally:
             self._exec_credits.release()
+        if self._fault_site is not None and sq.qid != 0:
+            status = yield from self._inject_faults(sqe, status)
         if status != StatusCode.SUCCESS:
             self.stats.errors += 1
         yield from self._post_cqe(sq, sqe.cid, status, result)
+
+    def _inject_faults(self, sqe: SubmissionEntry, status: int):
+        """Apply the fault plan's decisions to one executed IO command.
+
+        Both decisions are drawn unconditionally so command k always maps
+        to stream positions 2k/2k+1 regardless of rates or outcome.
+        """
+        cfg = self._fault_cfg
+        fail = self._fault_site.flip(cfg.nvme_cmd_fail_rate)
+        delay = self._fault_site.flip(cfg.nvme_cqe_delay_rate)
+        if fail and status == StatusCode.SUCCESS:
+            self._fault_stats.nvme_failures_injected += 1
+            status = (StatusCode.UNRECOVERED_READ_ERROR
+                      if sqe.opcode == IoOpcode.READ
+                      else StatusCode.WRITE_FAULT)
+        if delay:
+            self._fault_stats.nvme_cqe_delays += 1
+            yield self.sim.timeout(cfg.nvme_cqe_delay_ns)
+        return status
 
     def _post_cqe(self, sq: _SqState, cid: int, status: int, result: int):
         cq = sq.cq

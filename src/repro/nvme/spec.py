@@ -52,5 +52,10 @@ class StatusCode(IntEnum):
     INVALID_FIELD = 0x02
     DATA_TRANSFER_ERROR = 0x04
     INTERNAL_ERROR = 0x06
+    COMMAND_ABORTED = 0x07
     INVALID_QUEUE_ID = 0x101  # create-queue specific
     LBA_OUT_OF_RANGE = 0x80
+    # media & data integrity errors: (SCT=2 << 8) | SC, as packed in the
+    # CQE status field; used by fault injection (repro.faults)
+    WRITE_FAULT = 0x280
+    UNRECOVERED_READ_ERROR = 0x281

@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Generator, Optional, Tuple
 
-from ..errors import ConfigError
+from ..errors import ConfigError, PCIeError
 from ..sim.core import Event, Simulator
 from ..sim.resources import Resource
 from ..units import KiB, ns_for_bytes
@@ -125,6 +125,28 @@ class PcieLink:
         self._ns_cache: Dict[int, int] = {}
         #: memoized ``tlp.wire_bytes(payload)`` for the same reason.
         self._wire_cache: Dict[int, int] = {}
+        #: fault injection (repro.faults); None = fast paths stay enabled
+        self._fault_cfg = None
+        self._fault_stats = None
+        self._fault_sites: Dict[str, object] = {}
+
+    def attach_faults(self, plan, stats) -> None:
+        """Inject seeded TLP loss/corruption answered by replay.
+
+        A no-op unless a PCIe rate is non-zero.  When armed,
+        :meth:`plan_single_chunk` returns None so *every* transfer —
+        including the root complex's inlined DMA fast paths — funnels
+        through :meth:`serialize`, where the replay loop lives.
+        """
+        cfg = plan.config
+        if cfg.pcie_tlp_loss_rate <= 0 and cfg.pcie_tlp_corrupt_rate <= 0:
+            return
+        self._fault_cfg = cfg
+        self._fault_stats = stats
+        # per-direction streams: decisions on one direction cannot shift
+        # the other's stream position
+        self._fault_sites = {d: plan.site(f"{self.name}.{d}.tlp")
+                             for d in ("up", "down")}
 
     def serialize(self, direction: str, payload_bytes: int,
                   raw_wire_bytes: int = 0) -> Generator[Event, object, None]:
@@ -157,7 +179,8 @@ class PcieLink:
         remaining = total_wire
         while remaining > 0:
             yield res.acquire()
-            if remaining > chunk and res.queued == 0:
+            if remaining > chunk and res.queued == 0 \
+                    and self._fault_cfg is None:
                 remaining -= yield from self._elastic_span(
                     res, direction, remaining)
             else:
@@ -167,11 +190,47 @@ class PcieLink:
                     ns = ns_for_bytes(take, gbps)
                     self._ns_cache[take] = ns
                 try:
-                    yield self.sim.timeout(ns)
+                    if self._fault_cfg is not None:
+                        yield from self._chunk_with_replay(direction, take, ns)
+                    else:
+                        yield self.sim.timeout(ns)
                 finally:
                     res.release()
                 self.wire_bytes[direction] += take
                 remaining -= take
+
+    def _chunk_with_replay(self, direction: str, take: int,
+                           ns: int) -> Generator[Event, object, None]:
+        """One chunk under the fault plan: serialize, then replay on a
+        seeded loss (after the ack timeout) or corruption (NAK, immediate)
+        until it lands clean or the replay budget runs out.
+
+        Failed attempts still crossed the wire, so each is credited to the
+        traffic counter; the caller credits the final good attempt.
+        """
+        cfg = self._fault_cfg
+        site = self._fault_sites[direction]
+        stats = self._fault_stats
+        replays = 0
+        while True:
+            yield self.sim.timeout(ns)
+            lost = site.flip(cfg.pcie_tlp_loss_rate)
+            corrupt = site.flip(cfg.pcie_tlp_corrupt_rate)
+            if not lost and not corrupt:
+                return
+            if replays >= cfg.pcie_replay_limit:
+                raise PCIeError(
+                    f"{self.name}.{direction}: replay budget "
+                    f"({cfg.pcie_replay_limit}) exhausted for a "
+                    f"{take}-byte TLP chunk")
+            replays += 1
+            stats.pcie_replays += 1
+            self.wire_bytes[direction] += take
+            if lost:
+                stats.pcie_tlp_dropped += 1
+                yield self.sim.timeout(cfg.pcie_replay_timeout_ns)
+            else:
+                stats.pcie_tlp_corrupted += 1
 
     def plan_single_chunk(
             self, payload_bytes: int,
@@ -193,6 +252,10 @@ class PcieLink:
             self._wire_cache[payload_bytes] = wire
         total_wire = wire + raw_wire_bytes
         if total_wire > self.params.chunk_bytes:
+            return None
+        if self._fault_cfg is not None:
+            # with faults armed every transfer needs the replay loop in
+            # serialize(); inlined callers fall back on a None plan
             return None
         ns = self._ns_cache.get(total_wire)
         if ns is None:

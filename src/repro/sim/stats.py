@@ -3,12 +3,49 @@
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from ..units import gbps_for
 
-__all__ = ["BandwidthMeter", "LatencyCollector", "Summary", "summarize"]
+__all__ = ["BandwidthMeter", "FaultStats", "LatencyCollector", "Summary",
+           "summarize"]
+
+
+@dataclass
+class FaultStats:
+    """Counters of injected faults and the recovery they triggered.
+
+    One instance is shared by every component a
+    :class:`repro.faults.FaultPlan` is attached to, so a run's complete
+    fault story reads out of a single object.  Because the plan's decision
+    streams are seeded (see ``repro.faults.plan``), two runs with the same
+    seed must produce an identical :meth:`as_dict` — the reproducibility
+    gate asserted by ``python -m repro.faults``.
+    """
+
+    # -- injected ----------------------------------------------------------
+    nvme_failures_injected: int = 0
+    nvme_cqe_delays: int = 0
+    pcie_tlp_dropped: int = 0
+    pcie_tlp_corrupted: int = 0
+    eth_data_dropped: int = 0
+    eth_ctrl_dropped: int = 0
+    # -- recovery ----------------------------------------------------------
+    #: link-layer TLP replays (both loss and corruption trigger one)
+    pcie_replays: int = 0
+    #: command resubmissions by the streamer ROB path or the SPDK driver
+    retries: int = 0
+    #: per-command deadlines that expired before a CQE arrived
+    timeouts: int = 0
+    #: CQEs for commands already retried or completed (late arrivals)
+    stale_cqes: int = 0
+    #: commands that exhausted the retry budget (surfaced as typed errors)
+    retry_exhausted: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain counter dict (stable key order) for comparisons/reports."""
+        return asdict(self)
 
 
 @dataclass

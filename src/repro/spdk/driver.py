@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..errors import NVMeError
+from ..errors import NVMeError, RetryExhaustedError
 from ..mem.hostmem import ChunkedBuffer, PinnedAllocator
 from ..nvme.admin import AdminQueueClient
 from ..nvme.command import SubmissionEntry
@@ -69,6 +69,17 @@ class IoHandle:
     completed_ns: int = -1
     latency_stat_overhead_ns: int = 0
     list_pages: List[int] = field(default_factory=list)
+    # -- fault-recovery bookkeeping (repro.faults; unused otherwise) -------
+    #: resubmissions so far
+    retries: int = 0
+    #: sim time of the latest (re)submission, for the timeout scan
+    last_submit_ns: int = -1
+    #: enough of the original command to rebuild its SQE on a retry (the
+    #: PRPs stay valid: buffers and list pages live until completion)
+    slba: int = 0
+    nbytes: int = 0
+    prp1: int = 0
+    prp2: int = 0
 
     @property
     def latency_ns(self) -> int:
@@ -104,6 +115,18 @@ class SpdkNvmeDriver:
         self._sq_space = Event(sim)
         self._work_kick = Event(sim)
         self.identify_data: Optional[bytes] = None
+        #: fault recovery (repro.faults); None = legacy behaviour
+        self._fault_plan = None
+        self._fault_stats = None
+
+    def attach_faults(self, plan, stats) -> None:
+        """Enable timeout + capped-backoff retry recovery in the poll loop.
+
+        Without a plan the driver behaves exactly as before: a failed CQE
+        fails the handle with NVMeError and an unknown cid raises.
+        """
+        self._fault_plan = plan
+        self._fault_stats = stats
 
     # ------------------------------------------------------------ lifecycle
     def initialize(self, queue_entries: Optional[int] = None):
@@ -192,7 +215,9 @@ class SpdkNvmeDriver:
             opcode=opcode, list_pages=used_lists,
             latency_stat_overhead_ns=(
                 self.config.read_latency_stat_overhead_ns
-                if opcode == IoOpcode.READ else 0))
+                if opcode == IoOpcode.READ else 0),
+            last_submit_ns=self.sim.now, slba=slba, nbytes=nbytes,
+            prp1=prp1, prp2=prp2)
         self._inflight[cid] = handle
         kick, self._work_kick = self._work_kick, Event(self.sim)
         kick.succeed()
@@ -240,10 +265,29 @@ class SpdkNvmeDriver:
                     kick.succeed()
                     handle = self._inflight.pop(cqe.cid, None)
                     if handle is None:
-                        raise NVMeError(f"completion for unknown cid {cqe.cid}")
-                    if not cqe.ok:
-                        handle.done.fail(NVMeError(
-                            f"IO cid={cqe.cid} failed: status {cqe.status:#x}"))
+                        if self._fault_plan is None:
+                            raise NVMeError(
+                                f"completion for unknown cid {cqe.cid}")
+                        # recovery mode: a late CQE from an attempt the
+                        # timeout scan already retried or failed
+                        self._fault_stats.stale_cqes += 1
+                    elif not cqe.ok and self._fault_plan is not None \
+                            and handle.retries < self._fault_plan.config.retry_limit:
+                        handle.retries += 1
+                        self._fault_stats.retries += 1
+                        _ = self.sim.process(self._retry_io(handle),
+                                             name=f"spdk.retry{handle.cid}")
+                    elif not cqe.ok:
+                        if self._fault_plan is not None:
+                            self._fault_stats.retry_exhausted += 1
+                            handle.done.fail(RetryExhaustedError(
+                                f"IO cid={cqe.cid} failed with status "
+                                f"{cqe.status:#x} after {handle.retries} "
+                                f"retries"))
+                        else:
+                            handle.done.fail(NVMeError(
+                                f"IO cid={cqe.cid} failed: status "
+                                f"{cqe.status:#x}"))
                     else:
                         self._list_page_pool.extend(handle.list_pages)
                         handle.completed_ns = self.sim.now
@@ -254,6 +298,8 @@ class SpdkNvmeDriver:
                 if not progressed:
                     if self._cq_doorbell_owed:
                         yield from self._ring_cq_doorbell()
+                    if self._fault_plan is not None and self._inflight:
+                        self._scan_timeouts()
                     if self._inflight:
                         yield self.sim.timeout(self.config.poll_interval_ns)
                     else:
@@ -269,6 +315,60 @@ class SpdkNvmeDriver:
         yield from self.fabric.host_mmio_write(
             self.device.config.bar_base + doorbell_offset(1, is_cq=True),
             data=self.cq.head.to_bytes(4, "little"))
+
+    # -------------------------------------------------------- fault recovery
+    def _scan_timeouts(self) -> None:
+        """Fail over commands whose attempt outlived the deadline.
+
+        Runs from the poll loop's idle branch (the CPU is spinning there
+        anyway).  A timed-out handle leaves ``_inflight`` immediately; its
+        eventual CQE is then counted as stale.
+        """
+        cfg = self._fault_plan.config
+        now = self.sim.now
+        for cid in list(self._inflight):
+            handle = self._inflight[cid]
+            if now - handle.last_submit_ns < cfg.command_timeout_ns:
+                continue
+            del self._inflight[cid]
+            self._fault_stats.timeouts += 1
+            if handle.retries < cfg.retry_limit:
+                handle.retries += 1
+                self._fault_stats.retries += 1
+                _ = self.sim.process(self._retry_io(handle),
+                                     name=f"spdk.retry{handle.cid}")
+            else:
+                self._fault_stats.retry_exhausted += 1
+                handle.done.fail(RetryExhaustedError(
+                    f"IO cid={cid} timed out after {handle.retries} retries"))
+
+    def _retry_io(self, handle: IoHandle):
+        """Backoff, then resubmit the IO under a fresh cid.
+
+        Reuses the original PRPs (data buffer and list pages are still
+        live) so the rebuilt SQE describes the identical transfer.
+        """
+        cfg = self._fault_plan.config
+        yield self.sim.timeout(cfg.backoff_ns(handle.retries))
+        while self.sq.free_slots(self.sq.head, self.sq.tail) == 0:
+            yield self._sq_space
+        self._next_cid = (self._next_cid + 1) & 0x7FFF
+        handle.cid = self._next_cid
+        sqe = SubmissionEntry(opcode=handle.opcode, cid=handle.cid,
+                              prp1=handle.prp1, prp2=handle.prp2)
+        sqe.slba = handle.slba
+        sqe.nlb = handle.nbytes // self.device.namespace.lba_bytes
+        yield from self.cpu.work(self.config.submit_cpu_ns)
+        slot = self.sq.claim_slot()
+        self.fabric.host_memory.write(
+            self._host_offset(self.sq.entry_addr(slot)), sqe.pack())
+        handle.last_submit_ns = self.sim.now
+        self._inflight[handle.cid] = handle
+        kick, self._work_kick = self._work_kick, Event(self.sim)
+        kick.succeed()
+        yield from self.fabric.host_mmio_write(
+            self.device.config.bar_base + doorbell_offset(1, is_cq=False),
+            data=self.sq.tail.to_bytes(4, "little"))
 
     # ------------------------------------------------------------ convenience
     def io_and_wait(self, opcode: int, slba: int, nbytes: int,

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from .faults.plan import FaultConfig, FaultPlan
 from .mem.base import AddressRange
 from .mem.hostmem import HostDram, PinnedAllocator
 from .nvme.device import NvmeDevice, NvmeDeviceConfig, build_nvme_device
@@ -19,6 +20,7 @@ from .nvme.profiles import SsdPerfProfile
 from .pcie.iommu import Iommu
 from .pcie.root_complex import PcieFabric
 from .sim.core import Simulator
+from .sim.stats import FaultStats
 from .spdk.cpu import CpuThread
 from .spdk.driver import SpdkConfig, SpdkNvmeDriver
 from .units import GiB, MiB
@@ -40,6 +42,9 @@ class HostSystemConfig:
     ssd: NvmeDeviceConfig = field(default_factory=NvmeDeviceConfig)
     spdk: SpdkConfig = field(default_factory=SpdkConfig)
     functional: bool = True
+    #: fault injection + recovery policy (repro.faults); None — or a config
+    #: with every rate at zero — leaves the system entirely fault-free
+    faults: Optional[FaultConfig] = None
 
     def with_profile(self, profile: SsdPerfProfile) -> "HostSystemConfig":
         """Copy of this config with a different SSD perf profile."""
@@ -57,6 +62,9 @@ class HostSystem:
     allocator: PinnedAllocator
     ssd: NvmeDevice
     cpu: CpuThread
+    #: fault plan + shared counters when ``config.faults`` is enabled
+    fault_plan: Optional[FaultPlan] = None
+    fault_stats: Optional[FaultStats] = None
     _spdk: Optional[SpdkNvmeDriver] = None
 
     def spdk_driver(self) -> SpdkNvmeDriver:
@@ -65,6 +73,8 @@ class HostSystem:
             self._spdk = SpdkNvmeDriver(
                 self.sim, self.fabric, self.ssd, self.allocator,
                 HOST_MEM_BASE, self.cpu, self.config.spdk)
+            if self.fault_plan is not None:
+                self._spdk.attach_faults(self.fault_plan, self.fault_stats)
         return self._spdk
 
 
@@ -80,5 +90,13 @@ def build_host_system(sim: Simulator,
     ssd_cfg = replace(config.ssd, functional=config.functional)
     ssd = build_nvme_device(sim, fabric, ssd_cfg)
     cpu = CpuThread(sim, name="host.cpu0")
+    plan: Optional[FaultPlan] = None
+    stats: Optional[FaultStats] = None
+    if config.faults is not None and config.faults.enabled:
+        plan = FaultPlan(config.faults)
+        stats = FaultStats()
+        ssd.controller.attach_faults(plan, stats)
+        ssd.endpoint.link.attach_faults(plan, stats)
     return HostSystem(sim=sim, config=config, fabric=fabric, host_mem=host_mem,
-                      allocator=allocator, ssd=ssd, cpu=cpu)
+                      allocator=allocator, ssd=ssd, cpu=cpu,
+                      fault_plan=plan, fault_stats=stats)

@@ -306,6 +306,37 @@ class TestSim004Nondeterminism:
         assert harness == []
         assert [f.rule_id for f in other_script] == ["SIM004"]
 
+    def test_flags_literal_none_seeds(self):
+        # default_rng(None) / SeedSequence(entropy=None) are the
+        # documented spelling of "seed from OS entropy" — exactly as
+        # nondeterministic as passing no argument at all.
+        assert rule_ids(
+            """
+            import numpy as np
+
+            def make():
+                a = np.random.default_rng(None)
+                b = np.random.default_rng(seed=None)
+                c = np.random.SeedSequence(entropy=None)
+                return a, b, c
+            """, rule="SIM004") == ["SIM004", "SIM004", "SIM004"]
+
+    def test_passes_fault_plan_seeding_idiom(self):
+        # The repro.faults.plan idiom: per-site seeds derived from the
+        # config seed + a site-name hash.  Non-literal arguments must
+        # pass even though the rule can't prove they are deterministic.
+        assert rule_ids(
+            """
+            import zlib
+
+            import numpy as np
+
+            def site_rng(seed, name):
+                ss = np.random.SeedSequence(
+                    (seed, zlib.crc32(name.encode("utf-8"))))
+                return np.random.default_rng(ss)
+            """, rule="SIM004") == []
+
     def test_suppression(self):
         assert rule_ids(
             """

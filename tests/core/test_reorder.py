@@ -164,6 +164,56 @@ class TestOutOfOrder:
         assert (first.cid, second.cid) == (cids[0], cids[1])
 
 
+class TestCidWraparound:
+    """NVMe CIDs are 15-bit; the ROB must stay correct across the wrap."""
+
+    def test_depth_above_0x4000_rejected(self, sim):
+        # at depth 0x8000 the OoO epoch modulus collapses to 1 and two
+        # in-flight commands could share a CID
+        with pytest.raises(StreamerError):
+            ReorderBuffer(sim, 0x8000)
+
+    def test_depth_0x4000_accepted(self, sim):
+        rob = ReorderBuffer(sim, 0x4000, out_of_order=True)
+        assert rob.try_allocate(entry()) == 0
+
+    def _pop(self, sim, rob):
+        def body():
+            e = yield from rob.pop_next()
+            return e
+        return sim.run_process(body())
+
+    def test_inorder_wrap_past_15_bit_boundary(self, sim):
+        rob = ReorderBuffer(sim, 4)
+        # fast-forward the issue stream to just below the CID boundary
+        # (equivalent to issuing and retiring 0x7FFE commands)
+        rob._issue_seq = rob._head_seq = rob._retired = 0x7FFE
+        cids = [rob.try_allocate(entry()) for _ in range(4)]
+        assert cids == [0x7FFE, 0x7FFF, 0x0000, 0x0001]
+        for cid in cids:
+            rob.complete(cid, 0)
+        assert [self._pop(sim, rob).cid for _ in cids] == cids
+        # post-wrap cids are fresh: the pre-wrap ones are stale again
+        rob.try_allocate(entry())
+        with pytest.raises(StreamerError):
+            rob.complete(0x7FFE, 0)
+
+    def test_ooo_wrap_past_15_bit_boundary(self, sim):
+        rob = ReorderBuffer(sim, 4, out_of_order=True)
+        # last epoch before the wrap: slot s gets cid 0x7FFC + s
+        rob._slot_epoch = [0x7FFF // 4] * 4
+        old = [rob.try_allocate(entry()) for _ in range(4)]
+        assert old == [0x7FFC, 0x7FFD, 0x7FFE, 0x7FFF]
+        for cid in old:
+            rob.complete(cid, 0)
+        assert [self._pop(sim, rob).cid for _ in old] == old
+        new = [rob.try_allocate(entry()) for _ in range(4)]
+        assert new == [0, 1, 2, 3]          # epoch wrapped to zero
+        assert len(set(old + new)) == 8     # no CID reuse across the wrap
+        with pytest.raises(StreamerError):
+            rob.complete(old[0], 0)         # pre-wrap cid is stale
+
+
 class TestPropertyBased:
     @given(st.integers(min_value=1, max_value=5),
            st.lists(st.integers(min_value=0, max_value=10 ** 6),

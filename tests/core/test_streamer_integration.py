@@ -231,6 +231,37 @@ class TestErrors:
         with pytest.raises(StreamerError):
             sim.run_process(body())
 
+    def test_failed_read_beat_carries_status_meta(self):
+        """A failed read's beat itself: zero bytes, TLAST, NVMe status meta."""
+        sim, sys_ = make_system(StreamerVariant.URAM)
+        cap = sys_.host.ssd.namespace.capacity_bytes
+
+        def body():
+            yield from sys_.user.issue_read(cap, 4 * KiB)
+            flit = yield from sys_.user.rd_data.recv()
+            return flit
+
+        flit = sim.run_process(body())
+        assert flit.meta["status"] == 0x80  # LBA_OUT_OF_RANGE
+        assert flit.nbytes == 0 and flit.last
+        assert flit.meta["addr"] == cap
+        assert sys_.streamer.stats.errors == 1
+
+    def test_failed_write_token_carries_status_meta(self):
+        """A failed write's response token carries the NVMe status meta."""
+        sim, sys_ = make_system(StreamerVariant.URAM)
+        cap = sys_.host.ssd.namespace.capacity_bytes
+
+        def body():
+            yield from sys_.user.issue_write(cap, nbytes=4 * KiB)
+            flit = yield from sys_.user.wr_resp.recv()
+            return flit
+
+        flit = sim.run_process(body())
+        assert flit.meta["status"] == 0x80
+        assert flit.meta["addr"] == cap
+        assert sys_.streamer.stats.errors == 1
+
 
 class TestBackpressure:
     def test_buffer_fills_limit_issue(self):

@@ -1,0 +1,84 @@
+"""FaultConfig validation and the FaultPlan determinism contract."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import FaultConfig, FaultPlan
+
+
+class TestFaultConfig:
+    def test_defaults_are_disabled(self):
+        cfg = FaultConfig()
+        assert not cfg.enabled
+
+    def test_any_rate_enables(self):
+        assert FaultConfig(nvme_cmd_fail_rate=0.01).enabled
+        assert FaultConfig(eth_ctrl_drop_rate=0.5).enabled
+
+    def test_rates_validated(self):
+        with pytest.raises(ConfigError):
+            FaultConfig(nvme_cmd_fail_rate=1.5)
+        with pytest.raises(ConfigError):
+            FaultConfig(pcie_tlp_loss_rate=-0.1)
+
+    def test_recovery_params_validated(self):
+        with pytest.raises(ConfigError):
+            FaultConfig(retry_limit=-1)
+        with pytest.raises(ConfigError):
+            FaultConfig(command_timeout_ns=0)
+
+    def test_backoff_is_capped_exponential(self):
+        cfg = FaultConfig(backoff_base_ns=1000, backoff_cap_ns=5000)
+        assert cfg.backoff_ns(1) == 1000
+        assert cfg.backoff_ns(2) == 2000
+        assert cfg.backoff_ns(3) == 4000
+        assert cfg.backoff_ns(4) == 5000   # capped
+        assert cfg.backoff_ns(10) == 5000
+
+
+class TestFaultPlanDeterminism:
+    """The contract: decision k at a site depends only on (seed, site, k)."""
+
+    def test_same_seed_same_decisions(self):
+        a = FaultPlan(FaultConfig(nvme_cmd_fail_rate=0.3)).site("ctrl.cmd")
+        b = FaultPlan(FaultConfig(nvme_cmd_fail_rate=0.3)).site("ctrl.cmd")
+        assert [a.flip(0.3) for _ in range(200)] \
+            == [b.flip(0.3) for _ in range(200)]
+
+    def test_different_seed_different_decisions(self):
+        a = FaultPlan(FaultConfig(nvme_cmd_fail_rate=0.3, seed=1)).site("s")
+        b = FaultPlan(FaultConfig(nvme_cmd_fail_rate=0.3, seed=2)).site("s")
+        assert [a.flip(0.3) for _ in range(200)] \
+            != [b.flip(0.3) for _ in range(200)]
+
+    def test_sites_are_independent_of_creation_order(self):
+        cfg = FaultConfig(nvme_cmd_fail_rate=0.3)
+        plan_ab = FaultPlan(cfg)
+        s1 = plan_ab.site("alpha")
+        s2 = plan_ab.site("beta")
+        plan_ba = FaultPlan(cfg)
+        t2 = plan_ba.site("beta")   # reverse creation order
+        t1 = plan_ba.site("alpha")
+        assert [s1.flip(0.3) for _ in range(50)] \
+            == [t1.flip(0.3) for _ in range(50)]
+        assert [s2.flip(0.3) for _ in range(50)] \
+            == [t2.flip(0.3) for _ in range(50)]
+
+    def test_flip_always_draws_even_at_rate_zero(self):
+        """Rate 0 must consume the stream: position k stays meaningful."""
+        cfg = FaultConfig(nvme_cmd_fail_rate=0.5)
+        a = FaultPlan(cfg).site("s")
+        b = FaultPlan(cfg).site("s")
+        assert not any(a.flip(0.0) for _ in range(10))  # never fires ...
+        assert a.draws == 10                            # ... always draws
+        burned = [b.flip(0.0) for _ in range(10)]
+        assert burned == [False] * 10
+        # both sites are now at stream position 10 and agree from there on
+        assert [a.flip(0.5) for _ in range(50)] \
+            == [b.flip(0.5) for _ in range(50)]
+
+    def test_seed_for_is_stable(self):
+        plan = FaultPlan(FaultConfig(nvme_cmd_fail_rate=0.1))
+        one = plan.seed_for("ssd.ctrl.cmd")
+        two = plan.seed_for("ssd.ctrl.cmd")
+        assert one.entropy == two.entropy

@@ -161,10 +161,62 @@ class TestFlowControl:
 
         _ = sim.process(sender())
         done = sim.process(consumer())
-        sim.run()
+        # run_until, not run(): draining the heap would also play out any
+        # still-armed 802.3x pause-expiry watchdog, inflating sim.now
+        sim.run_until(done)
         # elapsed ~= n * consumer_period (within buffer slack)
         assert sim.now >= n * per_frame_ns
         assert sim.now <= n * per_frame_ns * 1.2
+
+    def test_pause_expires_without_xon(self, sim):
+        """802.3x: an XOFF is for quanta x 512 bit-times, not forever.
+
+        Regression test for the lost-XON hang: the XON never arrives here
+        (nothing is wired to send one), yet TX must resume once the
+        advertised quanta elapse.
+        """
+        a, b = linked_pair(sim, propagation_ns=0)
+        quanta = 1000
+        a._on_frame(pause_frame(quanta))
+        assert a.is_paused
+        pause_ns = a.pause_quanta_ns(quanta)
+        assert pause_ns == ns_for_bytes(quanta * 64, 12.5)
+
+        def sender():
+            yield from a.send(EthernetFrame(payload_bytes=512))
+
+        done = sim.process(sender())
+        sim.run_until(done)
+        assert not a.is_paused
+        assert a.tx_frames == 1
+        assert a.tx_pause_ns >= pause_ns  # waited the full advertised pause
+        assert sim.now <= pause_ns + ns_for_bytes(512 + 38, 12.5) + 1
+
+    def test_xoff_refresh_extends_pause(self, sim):
+        """A fresh XOFF pushes the expiry deadline forward."""
+        a, _ = linked_pair(sim)
+        a._on_frame(pause_frame(10))
+        first_deadline = a._pause_until
+        sim.run(until=a.pause_quanta_ns(5))
+        a._on_frame(pause_frame(10))  # refresh halfway through
+        assert a._pause_until > first_deadline
+        assert a.is_paused
+        sim.run()  # drain: the (single) watchdog expires the refreshed pause
+        assert not a.is_paused
+
+    def test_overrun_sends_xoff(self, sim):
+        """An overrun drop must pause the sender even below the watermark.
+
+        A single frame larger than the free FIFO space dies on arrival
+        without ever reaching the high-watermark check, so the drop path
+        itself has to raise XOFF.
+        """
+        a, b = linked_pair(sim, rx_fifo_bytes=4 * KiB)
+        b._on_frame(EthernetFrame(payload_bytes=8192))
+        assert b.dropped_frames == 1
+        assert b.pause_frames_sent == 1  # the drop itself raised XOFF
+        sim.run(until=2000)  # long enough for the XOFF, well short of expiry
+        assert a.is_paused
 
 
 class TestSwitch:

@@ -29,6 +29,17 @@ class TestCommandValidation:
             sim.run_process(body())
         assert driver.device.controller.stats.errors == 1
 
+    def test_failed_io_raises_with_status(self, sim, driver):
+        """A non-OK CQE fails the waiting handle with the NVMe status."""
+        ns = driver.device.namespace
+        buf = driver.alloc_buffer(4096)
+
+        def body():
+            yield from driver.read(ns.nlb_total, 4096, buf)
+
+        with pytest.raises(NVMeError, match="status 0x80"):
+            sim.run_process(body())
+
     def test_invalid_opcode_completes_with_error(self, sim, driver):
         buf = driver.alloc_buffer(4096)
 
