@@ -47,6 +47,22 @@ result = ablation_fault_rate(rand_bytes=1 * MiB, seq_bytes=2 * MiB,
 print(result.render())
 EOF
 
+echo "== parallel runner smoke (--jobs 2, tiny transfers) =="
+python - <<'EOF' || status=1
+from repro.bench.jobs import build_plan, execute_plan, render_report
+
+plan = build_plan("tiny", only={"table1", "fig4b", "ablation_fc"})
+serial, _ = execute_plan(plan, jobs=1)
+parallel, _ = execute_plan(plan, jobs=2)
+serial_text, serial_ok = render_report(serial)
+parallel_text, parallel_ok = render_report(parallel)
+assert serial_text == parallel_text, "parallel report diverged from serial"
+assert serial_ok == parallel_ok
+n_jobs = sum(len(stage.jobs) for stage in plan)
+print(f"--jobs 2 byte-identical to serial across {n_jobs} jobs "
+      f"in {len(plan)} stages")
+EOF
+
 echo "== perf smoke (scripts/perf.py --check) =="
 if [ -f BENCH_sim_kernel.json ]; then
     # Advisory only: a slow host is not a broken tree.

@@ -90,6 +90,44 @@ def timed_experiments() -> Dict[str, Dict[str, float]]:
     return out
 
 
+def parallel_runner_bench(jobs: int = 2) -> Dict[str, Any]:
+    """Serial vs parallel wall-clock of a small uncached job subset.
+
+    Runs the same tiny plan at ``--jobs 1`` and ``--jobs N`` with the
+    cache disabled and records both wall-clocks plus the speedup.  The
+    report text is asserted byte-identical — a speedup that changes the
+    output would be a determinism bug, not a win.  Speedup is advisory
+    (it tracks the host's core count; a 1-core CI box reports ~1x or
+    below), so ``--check`` never gates on it.
+    """
+    from repro.bench.jobs import build_plan, execute_plan, render_report
+
+    plan = build_plan("tiny", only={"fig4b", "ablation_fc", "ablation_ooo"})
+    n_jobs = sum(len(stage.jobs) for stage in plan)
+    t0 = time.perf_counter()
+    serial_results, _ = execute_plan(plan, jobs=1)
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel_results, _ = execute_plan(plan, jobs=jobs)
+    parallel_s = time.perf_counter() - t0
+    serial_text, _ = render_report(serial_results)
+    parallel_text, _ = render_report(parallel_results)
+    if serial_text != parallel_text:
+        raise AssertionError(
+            "parallel report text diverged from the serial run")
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    print(f"  {n_jobs} jobs: serial {serial_s:.2f}s, "
+          f"--jobs {jobs} {parallel_s:.2f}s ({speedup:.2f}x, "
+          f"report byte-identical)")
+    return {
+        "jobs": jobs,
+        "n_jobs": n_jobs,
+        "serial_seconds": round(serial_s, 3),
+        "parallel_seconds": round(parallel_s, 3),
+        "speedup": round(speedup, 3),
+    }
+
+
 def measure(skip_experiments: bool = False) -> Dict[str, Any]:
     """Full measurement pass; returns the baseline document."""
     print("kernel microbenchmark "
@@ -110,6 +148,8 @@ def measure(skip_experiments: bool = False) -> Dict[str, Any]:
     if not skip_experiments:
         print("timed experiment subsets ...")
         doc["experiments"] = timed_experiments()
+        print("parallel runner (serial vs --jobs 2, uncached) ...")
+        doc["parallel_runner"] = parallel_runner_bench()
     return doc
 
 

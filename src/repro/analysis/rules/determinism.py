@@ -26,10 +26,12 @@ _WALLCLOCK_CALLS = frozenset({
     "datetime.datetime.today", "datetime.date.today",
 })
 
-#: files allowed to read the wall clock: host-side bench *reporting* and
-#: the perf harness (which times the simulator), never model code.
+#: files allowed to read the wall clock: host-side bench *reporting*,
+#: the parallel job runner (progress timing on stderr), and the perf
+#: harness (which times the simulator) — never model code.
 WALLCLOCK_ALLOWED_FILES = (
     "repro/bench/__main__.py",
+    "repro/bench/jobs.py",
     "repro/bench/runner.py",
     "scripts/perf.py",
 )

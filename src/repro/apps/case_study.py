@@ -113,6 +113,36 @@ class CaseStudyResult:
         """Total PCIe payload crossings (Fig 7)."""
         return sum(self.pcie_traffic.values())
 
+    def to_json(self) -> dict:
+        """Lossless JSON document (every field is an int/float/str/dict),
+        so the bench job runner can cache case-study runs and rebuild
+        Fig 6/Fig 7 byte-identically from the stored values."""
+        return {
+            "implementation": self.implementation,
+            "images": self.images,
+            "stored_bytes": self.stored_bytes,
+            "elapsed_ns": self.elapsed_ns,
+            "cpu_utilization": self.cpu_utilization,
+            "pcie_traffic": dict(self.pcie_traffic),
+            "bytes_per_image": self.bytes_per_image,
+            "records_verified": self.records_verified,
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "CaseStudyResult":
+        """Inverse of :meth:`to_json`."""
+        return cls(
+            implementation=doc["implementation"],
+            images=doc["images"],
+            stored_bytes=doc["stored_bytes"],
+            elapsed_ns=doc["elapsed_ns"],
+            cpu_utilization=doc["cpu_utilization"],
+            pcie_traffic={str(k): int(v)
+                          for k, v in doc["pcie_traffic"].items()},
+            bytes_per_image=doc["bytes_per_image"],
+            records_verified=doc["records_verified"],
+        )
+
 
 # ---------------------------------------------------------------- front end
 class _EthernetFrontEnd:

@@ -1,68 +1,102 @@
-"""Run the full reproduction: ``python -m repro.bench [--quick]``.
+"""Run the full reproduction: ``python -m repro.bench``.
 
-Regenerates every table and figure of the paper plus the ablations, and
-prints measured-vs-paper comparison tables.
+Regenerates every table and figure of the paper plus the ablations and
+prints measured-vs-paper comparison tables.  The report text on stdout
+is fully deterministic — byte-identical for any ``--jobs`` count and for
+cached re-runs — while progress and timing go to stderr.
+
+Unknown flags are errors (argparse), not silently ignored::
+
+    python -m repro.bench --quick --jobs 4     # parallel quick run
+    python -m repro.bench --only fig4a --only table1
+    python -m repro.bench --list               # stage ids for --only
+    python -m repro.bench --json report.json   # machine-readable rows
+    python -m repro.bench --no-cache           # always re-simulate
+    python -m repro.bench --clear-cache        # drop .bench_cache/ first
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import os
 import sys
 import time
+from pathlib import Path
+from typing import Optional, Sequence
 
-from .experiments.ablations import (ablation_buffer_size,
-                                    ablation_burst_coalescing,
-                                    ablation_flow_control, ablation_gen5,
-                                    ablation_hbm, ablation_multi_ssd,
-                                    ablation_ooo, ablation_queue_depth)
-from .experiments.fault_tolerance import ablation_fault_rate
-from .experiments.fig4 import run_fig4a, run_fig4b, run_fig4c
-from .experiments.fig6_fig7 import (fig6_from_results, fig7_from_results,
-                                    run_case_study_all)
-from .experiments.table1 import run_table1
-from ..units import MiB
+from .cache import ResultCache, code_fingerprint, default_cache_dir
+from .jobs import (EXPERIMENTS, build_plan, execute_plan, render_report,
+                   results_to_json)
 
 
-def main(argv=None) -> int:
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    """The bench CLI; exposed for tests."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce every table and figure of the paper.")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller transfers/sample counts (same stages)")
+    parser.add_argument("--jobs", type=_positive_int,
+                        default=os.cpu_count() or 1, metavar="N",
+                        help="parallel worker processes (default: CPU "
+                             "count; 1 = historical serial execution)")
+    parser.add_argument("--only", action="append", metavar="EXPERIMENT",
+                        choices=EXPERIMENTS,
+                        help="run only this stage (repeatable; see --list)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="also write all rows as JSON to PATH")
+    parser.add_argument("--list", action="store_true",
+                        help="print stage ids and exit")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the result cache entirely")
+    parser.add_argument("--clear-cache", action="store_true",
+                        help="delete the cache directory before running")
+    parser.add_argument("--cache-dir", metavar="DIR", type=Path,
+                        default=None,
+                        help="cache location (default: .bench_cache/ or "
+                             "$REPRO_BENCH_CACHE)")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
-    argv = argv if argv is not None else sys.argv[1:]
-    quick = "--quick" in argv
-    seq_bytes = 128 * MiB if quick else 512 * MiB
-    rand_bytes = 16 * MiB if quick else 32 * MiB
-    images = 24 if quick else 48
+    args = build_arg_parser().parse_args(argv)
+    if args.list:
+        for experiment in EXPERIMENTS:
+            print(experiment)
+        return 0
 
-    stages = [
-        ("Table 1", lambda: run_table1()),
-        ("Fig 4a", lambda: run_fig4a(transfer_bytes=seq_bytes)),
-        ("Fig 4b", lambda: run_fig4b(transfer_bytes=rand_bytes)),
-        ("Fig 4c", lambda: run_fig4c(samples=150 if quick else 250)),
-    ]
-    ok = True
-    for label, fn in stages:
-        t0 = time.time()
-        result = fn()
-        print(result.render())
-        print(f"   ({label}: {time.time() - t0:.1f}s)\n")
-        ok = ok and result.all_in_band
+    cache_dir = args.cache_dir if args.cache_dir is not None \
+        else default_cache_dir()
+    if args.clear_cache and ResultCache.clear(cache_dir):
+        print(f"cleared cache at {cache_dir}", file=sys.stderr)
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(cache_dir, code_fingerprint())
 
-    t0 = time.time()
-    cs = run_case_study_all(n_images=images,
-                            warmup_images=4 if quick else 8)
-    for result in (fig6_from_results(cs), fig7_from_results(cs)):
-        print(result.render())
-        print()
-        ok = ok and result.all_in_band
-    print(f"   (case study: {time.time() - t0:.1f}s)\n")
+    profile = "quick" if args.quick else "full"
+    plan = build_plan(profile, only=args.only)
+    t0 = time.perf_counter()
+    results, stats = execute_plan(
+        plan, jobs=args.jobs, cache=cache,
+        echo=lambda message: print(message, file=sys.stderr, flush=True))
+    wall = time.perf_counter() - t0
 
-    for fn in (ablation_queue_depth, ablation_ooo, ablation_gen5,
-               ablation_multi_ssd, ablation_hbm, ablation_burst_coalescing,
-               ablation_flow_control, ablation_buffer_size,
-               ablation_fault_rate):
-        t0 = time.time()
-        result = fn()
-        print(result.render())
-        print(f"   ({time.time() - t0:.1f}s)\n")
-
-    print("ALL PAPER BANDS HIT" if ok else "SOME ROWS OUT OF BAND")
+    text, ok = render_report(results)
+    sys.stdout.write(text)
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(results_to_json(results, ok), indent=2) + "\n")
+    print(f"[{wall:.1f}s wall-clock with --jobs {args.jobs}; "
+          f"{stats.summary()}]", file=sys.stderr)
     return 0 if ok else 1
 
 

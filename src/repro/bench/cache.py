@@ -1,0 +1,125 @@
+"""Content-addressed result cache for bench jobs (signac-style keying).
+
+A cached entry is keyed by the SHA-256 of the *work*, not by names: the
+canonical JSON of the job's (function, kwargs) pair concatenated with a
+fingerprint of every ``repro`` source file.  Editing any model code
+changes the fingerprint, which invalidates every entry at once — an
+experiment can therefore never return stale rows after the simulator
+changed underneath it.  Values are the job's JSON payload (rows or a
+case-study document), written atomically (temp file + ``os.replace``)
+so an interrupted run never leaves a half-written entry that would
+poison later runs: a torn or corrupt file simply reads as a miss.
+
+The default location is ``.bench_cache/`` under the current directory
+(override with ``--cache-dir`` or ``REPRO_BENCH_CACHE``); the directory
+is listed in ``.gitignore``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterable, Optional
+
+__all__ = ["ResultCache", "code_fingerprint", "default_cache_dir",
+           "CACHE_SCHEMA", "CACHE_DIR_ENV"]
+
+CACHE_SCHEMA = 1
+CACHE_DIR_ENV = "REPRO_BENCH_CACHE"
+DEFAULT_CACHE_DIRNAME = ".bench_cache"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_BENCH_CACHE`` or ``.bench_cache/`` under the CWD."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    return Path(override) if override else Path(DEFAULT_CACHE_DIRNAME)
+
+
+def code_fingerprint(roots: Optional[Iterable[Path]] = None) -> str:
+    """SHA-256 over every ``*.py`` file of the ``repro`` package.
+
+    The digest covers relative paths *and* contents in sorted order, so
+    renaming, editing, adding, or deleting any source file changes it.
+    """
+    if roots is None:
+        import repro
+        roots = [Path(repro.__file__).resolve().parent]
+    digest = hashlib.sha256()
+    for root in roots:
+        root = Path(root).resolve()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """Maps a job's content key to its stored JSON payload."""
+
+    def __init__(self, root: Path, fingerprint: str) -> None:
+        self.root = Path(root)
+        self.fingerprint = fingerprint
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------- keys
+    def key(self, fn: str, kwargs: Dict[str, Any]) -> str:
+        """Content address: work identity x code fingerprint."""
+        work = json.dumps({"fn": fn, "kwargs": kwargs}, sort_keys=True)
+        return hashlib.sha256(
+            f"{work}|{self.fingerprint}".encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------ load
+    def load(self, fn: str, kwargs: Dict[str, Any]) -> Optional[Any]:
+        """The stored payload, or None on miss/corruption (counted)."""
+        key = self.key(fn, kwargs)
+        path = self._path(key)
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if doc.get("schema") != CACHE_SCHEMA or doc.get("key") != key:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return doc["payload"]
+
+    # ----------------------------------------------------------- store
+    def store(self, fn: str, kwargs: Dict[str, Any], payload: Any) -> None:
+        """Atomically persist one payload (write temp, then rename)."""
+        key = self.key(fn, kwargs)
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {"schema": CACHE_SCHEMA, "key": key, "fn": fn,
+               "kwargs": kwargs, "payload": payload}
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(doc, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ----------------------------------------------------------- admin
+    @staticmethod
+    def clear(root: Path) -> bool:
+        """Delete the whole cache directory; True when one existed."""
+        root = Path(root)
+        if not root.is_dir():
+            return False
+        shutil.rmtree(root)
+        return True

@@ -10,7 +10,7 @@ graceful degradation is measured against the true baseline.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ...core.bench import SnaccPerf
 from ...errors import StreamerError
@@ -20,9 +20,10 @@ from ...faults import FaultConfig
 from ...sim.core import Simulator
 from ...systems import HostSystemConfig
 from ...units import MiB
-from ..runner import ExperimentResult
+from ..runner import ExperimentResult, ExperimentRow
 
-__all__ = ["ablation_fault_rate", "DEFAULT_FAULT_RATES"]
+__all__ = ["ablation_fault_rate", "ablation_fault_rate_point",
+           "DEFAULT_FAULT_RATES"]
 
 #: per-command failure probabilities swept by default; past ~0.1 the
 #: default retry budget (4) starts exhausting and reads surface errors
@@ -47,6 +48,35 @@ def _faulted_snacc(rate: float) -> SnaccSystem:
     return system
 
 
+def ablation_fault_rate_point(rate: float, rand_bytes: int,
+                              seq_bytes: int) -> List[ExperimentRow]:
+    """One fault-rate sweep point on private simulators."""
+    label = f"rate {rate:g}"
+    system = _faulted_snacc(rate)
+    perf = SnaccPerf(system.sim, system.user)
+    try:
+        rand = system.sim.run_process(perf.rand_read(rand_bytes))
+        gbps = rand.gbps
+    except StreamerError:
+        # retry budget exhausted: the typed error reached the user
+        # port instead of a hang — report zero delivered bandwidth
+        gbps = 0.0
+    rows = [ExperimentRow("rand_read", label, gbps, "GB/s")]
+    # rand_read issues thousands of 4 KiB commands — by far the
+    # richest injection surface, so recovery counters come from it
+    stats = system.host.fault_stats
+    retries = stats.retries if stats is not None else 0
+    exhausted = stats.retry_exhausted if stats is not None else 0
+    rows.append(ExperimentRow("rand_retries", label, float(retries), "cmds"))
+    rows.append(ExperimentRow("rand_exhausted", label,
+                              float(exhausted), "cmds"))
+    system = _faulted_snacc(rate)
+    perf = SnaccPerf(system.sim, system.user)
+    seq = system.sim.run_process(perf.seq_read(seq_bytes))
+    rows.append(ExperimentRow("seq_read", label, seq.gbps, "GB/s"))
+    return rows
+
+
 def ablation_fault_rate(
         rand_bytes: int = 8 * MiB, seq_bytes: int = 32 * MiB,
         rates: Sequence[float] = DEFAULT_FAULT_RATES) -> ExperimentResult:
@@ -55,26 +85,6 @@ def ablation_fault_rate(
         "ablation_faults",
         "delivered read bandwidth + recovery vs injected fault rate")
     for rate in rates:
-        label = f"rate {rate:g}"
-        system = _faulted_snacc(rate)
-        perf = SnaccPerf(system.sim, system.user)
-        try:
-            rand = system.sim.run_process(perf.rand_read(rand_bytes))
-            gbps = rand.gbps
-        except StreamerError:
-            # retry budget exhausted: the typed error reached the user
-            # port instead of a hang — report zero delivered bandwidth
-            gbps = 0.0
-        result.add("rand_read", label, gbps, "GB/s")
-        # rand_read issues thousands of 4 KiB commands — by far the
-        # richest injection surface, so recovery counters come from it
-        stats = system.host.fault_stats
-        retries = stats.retries if stats is not None else 0
-        exhausted = stats.retry_exhausted if stats is not None else 0
-        result.add("rand_retries", label, float(retries), "cmds")
-        result.add("rand_exhausted", label, float(exhausted), "cmds")
-        system = _faulted_snacc(rate)
-        perf = SnaccPerf(system.sim, system.user)
-        seq = system.sim.run_process(perf.seq_read(seq_bytes))
-        result.add("seq_read", label, seq.gbps, "GB/s")
+        result.rows.extend(
+            ablation_fault_rate_point(rate, rand_bytes, seq_bytes))
     return result

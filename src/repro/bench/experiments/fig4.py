@@ -11,6 +11,8 @@ same steady state.
 
 from __future__ import annotations
 
+from typing import List
+
 from ...core import StreamerVariant, build_snacc_system
 from ...core.bench import SnaccPerf
 from ...nvme.spec import IoOpcode
@@ -19,9 +21,10 @@ from ...spdk.bench import SpdkPerf
 from ...systems import HostSystemConfig, build_host_system
 from ...units import MiB
 from ..paper import FIG4A, FIG4B, FIG4C
-from ..runner import ExperimentResult
+from ..runner import ExperimentResult, ExperimentRow
 
-__all__ = ["run_fig4a", "run_fig4b", "run_fig4c", "SYSTEMS"]
+__all__ = ["run_fig4a", "run_fig4b", "run_fig4c", "SYSTEMS",
+           "fig4a_point", "fig4b_point", "fig4c_point"]
 
 SYSTEMS = ("spdk", "uram", "onboard_dram", "host_dram")
 
@@ -42,33 +45,55 @@ def _snacc_perf(variant: StreamerVariant, functional: bool = False):
     return sim, SnaccPerf(sim, system.user), system
 
 
+def fig4a_point(kind: str, system_name: str, transfer_bytes: int,
+                repetitions: int = 2) -> List[ExperimentRow]:
+    """One (kind, system) cell of Fig 4a on a private simulator."""
+    rates = []
+    for rep in range(repetitions if kind == "seq_write" else 1):
+        if system_name == "spdk":
+            sim, perf, system = _spdk_perf()
+            fn = (perf.seq_read if kind == "seq_read"
+                  else perf.seq_write)
+        else:
+            sim, perf, system = _snacc_perf(StreamerVariant(system_name))
+            fn = (perf.seq_read if kind == "seq_read"
+                  else perf.seq_write)
+        if kind == "seq_write" and rep:
+            # successive 1 GB runs land in alternating internal
+            # phases of the drive (paper: 6.24 / 5.90 GB/s)
+            system.host.ssd.backend.advance_write_phase() \
+                if system_name != "spdk" else \
+                system.ssd.backend.advance_write_phase()
+        run = sim.run_process(fn(transfer_bytes))
+        rates.append(run.gbps)
+    measured = sum(rates) / len(rates)
+    return [ExperimentRow(kind, system_name, measured, "GB/s",
+                          FIG4A[kind][system_name])]
+
+
 def run_fig4a(transfer_bytes: int = 512 * MiB,
               repetitions: int = 2) -> ExperimentResult:
     """Sequential bandwidth; repetitions expose the write alternation."""
     result = ExperimentResult("fig4a", "sequential NVMe bandwidth (GB/s)")
     for kind in ("seq_read", "seq_write"):
         for name in SYSTEMS:
-            rates = []
-            for rep in range(repetitions if kind == "seq_write" else 1):
-                if name == "spdk":
-                    sim, perf, system = _spdk_perf()
-                    fn = (perf.seq_read if kind == "seq_read"
-                          else perf.seq_write)
-                else:
-                    sim, perf, system = _snacc_perf(StreamerVariant(name))
-                    fn = (perf.seq_read if kind == "seq_read"
-                          else perf.seq_write)
-                if kind == "seq_write" and rep:
-                    # successive 1 GB runs land in alternating internal
-                    # phases of the drive (paper: 6.24 / 5.90 GB/s)
-                    system.host.ssd.backend.advance_write_phase() \
-                        if name != "spdk" else \
-                        system.ssd.backend.advance_write_phase()
-                run = sim.run_process(fn(transfer_bytes))
-                rates.append(run.gbps)
-            measured = sum(rates) / len(rates)
-            result.add(kind, name, measured, "GB/s", FIG4A[kind][name])
+            result.rows.extend(
+                fig4a_point(kind, name, transfer_bytes, repetitions))
     return result
+
+
+def fig4b_point(kind: str, system_name: str,
+                transfer_bytes: int) -> List[ExperimentRow]:
+    """One (kind, system) cell of Fig 4b on a private simulator."""
+    if system_name == "spdk":
+        sim, perf, _sys = _spdk_perf()
+        fn = perf.rand_read if kind == "rand_read" else perf.rand_write
+    else:
+        sim, perf, _sys = _snacc_perf(StreamerVariant(system_name))
+        fn = perf.rand_read if kind == "rand_read" else perf.rand_write
+    run = sim.run_process(fn(transfer_bytes))
+    return [ExperimentRow(kind, system_name, run.gbps, "GB/s",
+                          FIG4B[kind][system_name])]
 
 
 def run_fig4b(transfer_bytes: int = 32 * MiB) -> ExperimentResult:
@@ -76,32 +101,34 @@ def run_fig4b(transfer_bytes: int = 32 * MiB) -> ExperimentResult:
     result = ExperimentResult("fig4b", "random 4 KiB NVMe bandwidth (GB/s)")
     for kind in ("rand_read", "rand_write"):
         for name in SYSTEMS:
-            if name == "spdk":
-                sim, perf, _sys = _spdk_perf()
-                fn = perf.rand_read if kind == "rand_read" else perf.rand_write
-            else:
-                sim, perf, _sys = _snacc_perf(StreamerVariant(name))
-                fn = perf.rand_read if kind == "rand_read" else perf.rand_write
-            run = sim.run_process(fn(transfer_bytes))
-            result.add(kind, name, run.gbps, "GB/s", FIG4B[kind][name])
+            result.rows.extend(fig4b_point(kind, name, transfer_bytes))
     return result
+
+
+def fig4c_point(system_name: str, samples: int) -> List[ExperimentRow]:
+    """Read+write latency rows for one system on a private simulator."""
+    if system_name == "spdk":
+        sim, perf, _sys = _spdk_perf()
+        rl = sim.run_process(perf.latency_probe(IoOpcode.READ, samples))
+        wl = sim.run_process(perf.latency_probe(IoOpcode.WRITE,
+                                                max(10, samples // 3)))
+    else:
+        sim, perf, _sys = _snacc_perf(StreamerVariant(system_name))
+        rl = sim.run_process(perf.read_latency(samples))
+        wl = sim.run_process(perf.write_latency(max(10, samples // 3)))
+    return [
+        ExperimentRow("read_latency_us", system_name,
+                      sum(rl) / len(rl) / 1000, "us",
+                      FIG4C["read_latency_us"][system_name]),
+        ExperimentRow("write_latency_us", system_name,
+                      sum(wl) / len(wl) / 1000, "us",
+                      FIG4C["write_latency_us"][system_name]),
+    ]
 
 
 def run_fig4c(samples: int = 200) -> ExperimentResult:
     """Single 4 KiB access latency."""
     result = ExperimentResult("fig4c", "single 4 KiB access latency (us)")
     for name in SYSTEMS:
-        if name == "spdk":
-            sim, perf, _sys = _spdk_perf()
-            rl = sim.run_process(perf.latency_probe(IoOpcode.READ, samples))
-            wl = sim.run_process(perf.latency_probe(IoOpcode.WRITE,
-                                                    max(10, samples // 3)))
-        else:
-            sim, perf, _sys = _snacc_perf(StreamerVariant(name))
-            rl = sim.run_process(perf.read_latency(samples))
-            wl = sim.run_process(perf.write_latency(max(10, samples // 3)))
-        result.add("read_latency_us", name, sum(rl) / len(rl) / 1000, "us",
-                   FIG4C["read_latency_us"][name])
-        result.add("write_latency_us", name, sum(wl) / len(wl) / 1000, "us",
-                   FIG4C["write_latency_us"][name])
+        result.rows.extend(fig4c_point(name, samples))
     return result

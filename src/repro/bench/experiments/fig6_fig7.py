@@ -14,15 +14,23 @@ from ...apps.case_study import (CaseStudyConfig, CaseStudyResult,
 from ..paper import FIG6, FIG7_ORDER
 from ..runner import ExperimentResult
 
-__all__ = ["run_case_study_all", "fig6_from_results", "fig7_from_results"]
+__all__ = ["run_case_study_all", "case_study_point",
+           "fig6_from_results", "fig7_from_results"]
+
+
+def case_study_point(implementation: str, n_images: int,
+                     warmup_images: int) -> CaseStudyResult:
+    """Run one implementation on a private simulator (one parallel job)."""
+    config = CaseStudyConfig(n_images=n_images, warmup_images=warmup_images)
+    return run_case_study(implementation, config)
 
 
 def run_case_study_all(n_images: int = 48,
                        warmup_images: int = 8
                        ) -> Dict[str, CaseStudyResult]:
     """Run all five implementations on identical workloads."""
-    config = CaseStudyConfig(n_images=n_images, warmup_images=warmup_images)
-    return {impl: run_case_study(impl, config) for impl in IMPLEMENTATIONS}
+    return {impl: case_study_point(impl, n_images, warmup_images)
+            for impl in IMPLEMENTATIONS}
 
 
 def fig6_from_results(results: Dict[str, CaseStudyResult]

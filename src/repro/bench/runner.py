@@ -1,13 +1,20 @@
-"""Experiment result containers and text rendering."""
+"""Experiment result containers, JSON round-tripping, text rendering.
+
+Rows serialize losslessly to JSON (``json.dumps`` preserves IEEE doubles
+exactly via ``repr``), which is what lets the result cache and the
+parallel runner hand rows across process boundaries and still render
+byte-identical report text.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from .paper import Band
 
-__all__ = ["ExperimentRow", "ExperimentResult"]
+__all__ = ["ExperimentRow", "ExperimentResult",
+           "rows_to_json", "rows_from_json"]
 
 
 @dataclass
@@ -26,6 +33,32 @@ class ExperimentRow:
         if self.expected is None:
             return None
         return self.expected.contains(self.measured)
+
+    def to_json(self) -> Dict[str, Any]:
+        """Lossless JSON document for this row."""
+        expected = ([self.expected.lo, self.expected.hi]
+                    if self.expected is not None else None)
+        return {"series": self.series, "system": self.system,
+                "measured": self.measured, "unit": self.unit,
+                "expected": expected}
+
+    @classmethod
+    def from_json(cls, doc: Dict[str, Any]) -> "ExperimentRow":
+        """Inverse of :meth:`to_json`."""
+        expected = doc.get("expected")
+        band = Band(expected[0], expected[1]) if expected is not None else None
+        return cls(series=doc["series"], system=doc["system"],
+                   measured=doc["measured"], unit=doc["unit"], expected=band)
+
+
+def rows_to_json(rows: List[ExperimentRow]) -> List[Dict[str, Any]]:
+    """Serialize a row list (the unit the job runner caches)."""
+    return [r.to_json() for r in rows]
+
+
+def rows_from_json(docs: List[Dict[str, Any]]) -> List[ExperimentRow]:
+    """Inverse of :func:`rows_to_json`."""
+    return [ExperimentRow.from_json(d) for d in docs]
 
 
 @dataclass

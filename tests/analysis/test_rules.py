@@ -306,6 +306,21 @@ class TestSim004Nondeterminism:
         assert harness == []
         assert [f.rule_id for f in other_script] == ["SIM004"]
 
+    def test_wallclock_allowlist_covers_job_runner_not_model(self):
+        # the parallel job runner times stages for stderr progress
+        # lines; experiment/model modules stay locked down.
+        src = "import time\nt0 = time.perf_counter()\n"
+        runner = analyze_source(
+            src, path="src/repro/bench/jobs.py", select=["SIM004"])
+        experiment = analyze_source(
+            src, path="src/repro/bench/experiments/fig4.py",
+            select=["SIM004"])
+        cache = analyze_source(
+            src, path="src/repro/bench/cache.py", select=["SIM004"])
+        assert runner == []
+        assert [f.rule_id for f in experiment] == ["SIM004"]
+        assert [f.rule_id for f in cache] == ["SIM004"]
+
     def test_flags_literal_none_seeds(self):
         # default_rng(None) / SeedSequence(entropy=None) are the
         # documented spelling of "seed from OS entropy" — exactly as

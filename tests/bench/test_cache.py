@@ -1,0 +1,122 @@
+"""The content-addressed result cache: keying, atomicity, integration."""
+
+from pathlib import Path
+
+from repro.bench.cache import (CACHE_DIR_ENV, ResultCache, code_fingerprint,
+                               default_cache_dir)
+from repro.bench.jobs import build_plan, execute_plan, render_report
+
+
+class TestResultCache:
+    def test_store_load_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path, "fp")
+        payload = [{"series": "bw", "measured": 1.5}]
+        cache.store("fn", {"a": 1}, payload)
+        assert cache.load("fn", {"a": 1}) == payload
+        assert cache.hits == 1
+
+    def test_kwargs_change_misses(self, tmp_path):
+        cache = ResultCache(tmp_path, "fp")
+        cache.store("fn", {"a": 1}, "x")
+        assert cache.load("fn", {"a": 2}) is None
+        assert cache.misses == 1
+
+    def test_fingerprint_change_misses(self, tmp_path):
+        ResultCache(tmp_path, "fp-old").store("fn", {"a": 1}, "x")
+        fresh = ResultCache(tmp_path, "fp-new")
+        assert fresh.load("fn", {"a": 1}) is None
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path, "fp")
+        cache.store("fn", {}, "x")
+        path = cache._path(cache.key("fn", {}))
+        path.write_text("{ torn write")
+        assert cache.load("fn", {}) is None
+
+    def test_store_is_atomic_no_temp_left_behind(self, tmp_path):
+        cache = ResultCache(tmp_path, "fp")
+        for i in range(3):
+            cache.store("fn", {"i": i}, list(range(i)))
+        leftovers = [p for p in tmp_path.rglob("*") if p.suffix != ".json"
+                     and p.is_file()]
+        assert leftovers == []
+
+    def test_clear(self, tmp_path):
+        root = tmp_path / "cache"
+        ResultCache(root, "fp").store("fn", {}, "x")
+        assert ResultCache.clear(root) is True
+        assert not root.exists()
+        assert ResultCache.clear(root) is False
+
+
+class TestCodeFingerprint:
+    def make_tree(self, tmp_path):
+        root = tmp_path / "pkg"
+        root.mkdir()
+        (root / "a.py").write_text("A = 1\n")
+        (root / "b.py").write_text("B = 2\n")
+        return root
+
+    def test_stable_for_unchanged_tree(self, tmp_path):
+        root = self.make_tree(tmp_path)
+        assert code_fingerprint([root]) == code_fingerprint([root])
+
+    def test_edit_changes_fingerprint(self, tmp_path):
+        root = self.make_tree(tmp_path)
+        before = code_fingerprint([root])
+        (root / "a.py").write_text("A = 99\n")
+        assert code_fingerprint([root]) != before
+
+    def test_new_file_changes_fingerprint(self, tmp_path):
+        root = self.make_tree(tmp_path)
+        before = code_fingerprint([root])
+        (root / "c.py").write_text("")
+        assert code_fingerprint([root]) != before
+
+    def test_rename_changes_fingerprint(self, tmp_path):
+        root = self.make_tree(tmp_path)
+        before = code_fingerprint([root])
+        (root / "a.py").rename(root / "z.py")
+        assert code_fingerprint([root]) != before
+
+    def test_default_covers_the_repro_package(self):
+        # a real fingerprint is cheap and deterministic within a process
+        assert code_fingerprint() == code_fingerprint()
+
+    def test_default_cache_dir_env_override(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        assert default_cache_dir() == Path(".bench_cache")
+        monkeypatch.setenv(CACHE_DIR_ENV, "/tmp/elsewhere")
+        assert default_cache_dir() == Path("/tmp/elsewhere")
+
+
+class TestExecutePlanWithCache:
+    def plan(self):
+        return build_plan("tiny", only={"table1"})
+
+    def test_second_run_is_all_hits(self, tmp_path):
+        plan = self.plan()
+        n_jobs = sum(len(s.jobs) for s in plan)
+        first_cache = ResultCache(tmp_path, "fp")
+        first, first_stats = execute_plan(plan, cache=first_cache)
+        assert first_stats.executed == n_jobs
+        assert first_stats.hits == 0
+        second, second_stats = execute_plan(
+            plan, cache=ResultCache(tmp_path, "fp"))
+        assert second_stats.executed == 0
+        assert second_stats.hits == n_jobs
+        assert render_report(first)[0] == render_report(second)[0]
+
+    def test_fingerprint_change_resimulates(self, tmp_path):
+        plan = self.plan()
+        execute_plan(plan, cache=ResultCache(tmp_path, "fp-a"))
+        _, stats = execute_plan(plan, cache=ResultCache(tmp_path, "fp-b"))
+        assert stats.hits == 0
+        assert stats.executed == sum(len(s.jobs) for s in plan)
+
+    def test_no_cache_bypasses_everything(self, tmp_path):
+        plan = self.plan()
+        _, stats = execute_plan(plan, cache=None)
+        assert stats.hits == stats.misses == 0
+        assert stats.executed == sum(len(s.jobs) for s in plan)
+        assert list(tmp_path.iterdir()) == []
