@@ -19,7 +19,14 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 status=0
 
 echo "== snacclint (python -m repro.analysis) =="
-python -m repro.analysis src tests benchmarks examples scripts || status=1
+# Hard gate: per-file rules SIM001-SIM005 + whole-program rules
+# SIM006-SIM010, fanned over 4 workers with the incremental cache.
+# Emits the machine-readable findings artifact (snacclint.json) and
+# enforces the suppression-debt ratchet against the checked-in baseline.
+python -m repro.analysis src tests benchmarks examples scripts \
+    --jobs 4 \
+    --output snacclint.json \
+    --baseline snacclint_baseline.json || status=1
 
 echo "== ruff =="
 if python -m ruff --version >/dev/null 2>&1; then

@@ -1,6 +1,7 @@
-"""CLI driver: ``python -m repro.analysis [paths] [--format text|json]``.
+"""CLI driver: ``python -m repro.analysis [paths] [options]``.
 
-Exit codes: 0 — clean, 1 — findings, 2 — usage or parse/IO errors.
+Exit codes: 0 — clean, 1 — findings (or suppression debt over baseline),
+2 — usage or parse/IO errors.
 """
 
 from __future__ import annotations
@@ -9,7 +10,15 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-from .engine import all_rules, analyze_paths, render_json, render_text
+from .baseline import check_ratchet, load_baseline, write_baseline
+from .engine import (
+    all_program_rules,
+    all_rules,
+    analyze_paths_report,
+    render_json,
+    render_text,
+)
+from .incremental import DEFAULT_CACHE_NAME, AnalysisCache
 
 
 def _split_ids(values: Optional[List[str]]) -> Optional[List[str]]:
@@ -26,7 +35,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="snacclint: simulation-hazard static analyzer "
-                    "(rules SIM001-SIM005)",
+                    "(per-file rules SIM001-SIM005, whole-program rules "
+                    "SIM006-SIM010)",
     )
     parser.add_argument("paths", nargs="*",
                         help="files or directories to analyze")
@@ -36,38 +46,96 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="comma-separated rule ids to run (default: all)")
     parser.add_argument("--ignore", action="append", metavar="RULES",
                         help="comma-separated rule ids to skip")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="fan the per-file pass over N worker processes "
+                             "(deterministic path-ordered merge)")
+    parser.add_argument("--output", metavar="FILE",
+                        help="also write the JSON report to FILE")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="fail if '# snacclint: disable' comment count "
+                             "exceeds the baseline recorded in FILE")
+    parser.add_argument("--write-baseline", metavar="FILE",
+                        help="record the current suppression count in FILE "
+                             "and exit (ratchet bookkeeping)")
+    parser.add_argument("--no-incremental", action="store_true",
+                        help="disable the per-file analysis cache")
+    parser.add_argument("--cache-file", default=DEFAULT_CACHE_NAME,
+                        metavar="FILE",
+                        help=f"analysis cache location "
+                             f"(default: {DEFAULT_CACHE_NAME})")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule table and exit")
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for rule_id, rule in sorted(all_rules().items()):
+        table = {**all_rules(), **all_program_rules()}
+        for rule_id, rule in sorted(table.items()):
             print(f"{rule_id}  {rule.title}: {rule.hazard}")
         return 0
     if not args.paths:
         parser.print_usage(sys.stderr)
         print("error: no paths given (or use --list-rules)", file=sys.stderr)
         return 2
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
 
+    cache = None if args.no_incremental else AnalysisCache(args.cache_file)
     try:
-        findings, errors, files_analyzed = analyze_paths(
+        report = analyze_paths_report(
             args.paths,
             select=_split_ids(args.select),
             ignore=_split_ids(args.ignore),
+            jobs=args.jobs,
+            cache=cache,
         )
     except ValueError as exc:  # unknown rule id in --select/--ignore
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    json_report = render_json(report.findings, report.files_analyzed,
+                              report=report)
+    if args.output:
+        try:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                fh.write(json_report + "\n")
+        except OSError as exc:
+            print(f"error: cannot write {args.output}: {exc}",
+                  file=sys.stderr)
+            return 2
     if args.format == "json":
-        print(render_json(findings, files_analyzed))
+        print(json_report)
     else:
-        print(render_text(findings, files_analyzed))
-    for error in errors:
+        print(render_text(report.findings, report.files_analyzed))
+    for error in report.errors:
         print(f"error: {error}", file=sys.stderr)
-    if errors:
+    if report.errors:
         return 2
-    return 1 if findings else 0
+
+    if args.write_baseline:
+        try:
+            write_baseline(args.write_baseline, report.suppression_comments)
+        except OSError as exc:
+            print(f"error: cannot write {args.write_baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"snacclint: baseline {args.write_baseline} set to "
+              f"{report.suppression_comments} suppression comments")
+
+    ratchet_failed = False
+    if args.baseline:
+        try:
+            allowed = load_baseline(args.baseline)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        ok, message = check_ratchet(report.suppression_comments, allowed)
+        if message:
+            stream = sys.stdout if ok else sys.stderr
+            print(f"snacclint: {message}", file=stream)
+        ratchet_failed = not ok
+
+    return 1 if (report.findings or ratchet_failed) else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,69 @@
+"""Suppression-debt baseline: a ratchet that only goes down.
+
+Every ``# snacclint: disable...`` comment is a debt: a hazard the tree
+chose to live with.  The baseline file (``snacclint_baseline.json``,
+checked in) records how many such comments the tree is allowed to carry.
+``scripts/check.sh`` fails when the count *exceeds* the baseline — new
+suppressions need the baseline raised explicitly in review — and nags
+when the count drops below it, so paying debt down gets locked in by
+re-writing the baseline (``--write-baseline``) in the same change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Tuple
+
+__all__ = ["load_baseline", "write_baseline", "check_ratchet",
+           "DEFAULT_BASELINE_NAME"]
+
+DEFAULT_BASELINE_NAME = "snacclint_baseline.json"
+
+_BASELINE_VERSION = 1
+
+
+def load_baseline(path: str) -> int:
+    """The allowed suppression-comment count recorded in *path*.
+
+    Raises :class:`ValueError` (with a readable message) on a missing or
+    malformed file — a broken baseline must fail the gate, not pass it.
+    """
+    try:
+        doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ValueError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"malformed baseline {path}: {exc}") from exc
+    if (not isinstance(doc, dict) or doc.get("version") != _BASELINE_VERSION
+            or not isinstance(doc.get("suppression_comments"), int)
+            or doc["suppression_comments"] < 0):
+        raise ValueError(f"malformed baseline {path}: expected "
+                         '{"version": 1, "suppression_comments": <int>=0>}')
+    return doc["suppression_comments"]
+
+
+def write_baseline(path: str, suppression_comments: int) -> None:
+    """Record *suppression_comments* as the new allowed debt."""
+    doc = {"version": _BASELINE_VERSION,
+           "suppression_comments": suppression_comments}
+    Path(path).write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+
+
+def check_ratchet(current: int, baseline: int) -> Tuple[bool, Optional[str]]:
+    """(ok, message) for *current* suppression debt against *baseline*.
+
+    Over budget fails; under budget passes but asks for the baseline to be
+    ratcheted down so the improvement cannot silently regress.
+    """
+    if current > baseline:
+        return False, (
+            f"suppression debt increased: {current} "
+            f"'# snacclint: disable' comments vs baseline {baseline}; "
+            "remove suppressions or raise the baseline explicitly "
+            "(--write-baseline) with review")
+    if current < baseline:
+        return True, (
+            f"suppression debt improved: {current} vs baseline {baseline}; "
+            "ratchet it down with --write-baseline to lock in the gain")
+    return True, None

@@ -21,13 +21,26 @@ in :mod:`repro.analysis.rules`.
 
 Suppressions
 ------------
-A comment on the *reported line* disables rules for that line::
+A comment on the *reported statement* disables rules for that statement::
 
     t0 = time.time()  # snacclint: disable=SIM004
 
 ``# snacclint: disable`` (no ``=RULE`` list) disables every rule for the
-line.  A standalone ``# snacclint: disable-file=SIM004`` comment anywhere in
-a file disables the listed rules (or all, if bare) for the whole file.
+statement.  The comment may sit on any physical line of a multi-line
+statement — it covers the whole logical line.  A standalone
+``# snacclint: disable-file=SIM004`` comment anywhere in a file disables
+the listed rules (or all, if bare) for the whole file.  Unknown rule ids
+in a disable list are inert (they suppress nothing and harm nothing), so
+suppressions survive rule renames without crashing the gate.
+
+Whole-program rules
+-------------------
+Rules subclassing :class:`ProgramRule` run once per *analysis*, not once
+per file: they receive a :class:`~repro.analysis.program.Program` built
+from every analyzed module and can chase facts across imports (deadlocks,
+spawn-safety, cache-soundness).  ``analyze_paths`` runs both passes;
+``analyze_source`` stays per-file so single-snippet callers see exactly
+the per-file rule set.
 
 Exit codes (CLI): 0 — clean, 1 — findings, 2 — usage or parse errors.
 """
@@ -45,12 +58,18 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence
 
 __all__ = [
     "Finding",
+    "Report",
     "Rule",
+    "ProgramRule",
     "Module",
     "register",
+    "register_program",
     "all_rules",
+    "all_program_rules",
     "analyze_source",
+    "analyze_sources",
     "analyze_paths",
+    "analyze_paths_report",
     "iter_python_files",
     "render_text",
     "render_json",
@@ -130,7 +149,30 @@ class Rule:
         )
 
 
+class ProgramRule(Rule):
+    """Base class for whole-program rules (SIM006+).
+
+    Subclasses implement :meth:`check_program` against the
+    :class:`~repro.analysis.program.Program` built from every analyzed
+    module.  Suppression filtering still happens in the engine, using the
+    suppression tables each module summary carries.
+    """
+
+    def check(self, module: "Module") -> Iterator[Finding]:  # pragma: no cover
+        return iter(())
+
+    def check_program(self, program) -> Iterator[Finding]:
+        """Yield every violation of this rule found in *program*."""
+        raise NotImplementedError
+
+    def finding_at(self, path: str, line: int, col: int, message: str) -> Finding:
+        """Build a finding at an explicit location (no AST node in hand)."""
+        return Finding(path=path, line=line, col=col, rule_id=self.id,
+                       message=message)
+
+
 _REGISTRY: Dict[str, Rule] = {}
+_PROGRAM_REGISTRY: Dict[str, ProgramRule] = {}
 
 
 def register(cls: Type[Rule]) -> Type[Rule]:
@@ -138,17 +180,34 @@ def register(cls: Type[Rule]) -> Type[Rule]:
     rule = cls()
     if not rule.id:
         raise ValueError(f"rule {cls.__name__} has no id")
-    if rule.id in _REGISTRY:
+    if rule.id in _REGISTRY or rule.id in _PROGRAM_REGISTRY:
         raise ValueError(f"duplicate rule id {rule.id}")
     _REGISTRY[rule.id] = rule
     return cls
 
 
+def register_program(cls: Type[ProgramRule]) -> Type[ProgramRule]:
+    """Class decorator adding a whole-program rule to the program registry."""
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if rule.id in _REGISTRY or rule.id in _PROGRAM_REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    _PROGRAM_REGISTRY[rule.id] = rule
+    return cls
+
+
 def all_rules() -> Dict[str, Rule]:
-    """The registered rules, keyed by id (imports the rule pack lazily)."""
+    """The registered per-file rules, keyed by id (lazy rule-pack import)."""
     # Imported here so `engine` stays import-cycle free: rules import engine.
     from . import rules as _rules  # noqa: F401  (import populates registry)
     return dict(_REGISTRY)
+
+
+def all_program_rules() -> Dict[str, ProgramRule]:
+    """The registered whole-program rules, keyed by id."""
+    from . import rules as _rules  # noqa: F401  (import populates registry)
+    return dict(_PROGRAM_REGISTRY)
 
 
 class Module:
@@ -166,6 +225,9 @@ class Module:
         self._line_suppress: Dict[int, Optional[Set[str]]] = {}
         #: file-wide suppressions (None = every rule)
         self._file_suppress: Optional[Set[str]] = set()
+        #: how many ``snacclint: disable`` comments the file carries
+        #: (the suppression-debt metric the baseline ratchet tracks)
+        self.suppression_comments: int = 0
         self._collect_suppressions()
 
         #: id(node) -> enclosing scope node
@@ -186,31 +248,74 @@ class Module:
 
     # -- construction ---------------------------------------------------------
     def _collect_suppressions(self) -> None:
+        """Index suppression comments, mapped to whole *logical* lines.
+
+        tokenize distinguishes ``NEWLINE`` (logical-line end) from ``NL``
+        (blank/comment-only physical line, or a line break inside open
+        brackets).  Tracking the first content token since the last
+        ``NEWLINE`` gives the logical line's span, so a disable comment on
+        any physical line of a multi-line statement suppresses the whole
+        statement — findings anchor to the statement's first line while the
+        comment often fits best on its last.
+        """
         try:
             tokens = list(tokenize.generate_tokens(StringIO(self.source).readline))
         except tokenize.TokenizeError:  # pragma: no cover - parse already ok
             return
+        _skip = (tokenize.COMMENT, tokenize.NL, tokenize.NEWLINE,
+                 tokenize.INDENT, tokenize.DEDENT, tokenize.ENCODING,
+                 tokenize.ENDMARKER)
+        depth = 0
+        logical_start: Optional[int] = None
+        pending: List[Tuple[int, Optional[Set[str]]]] = []
         for tok in tokens:
-            if tok.type != tokenize.COMMENT:
-                continue
-            match = _SUPPRESS_RE.search(tok.string)
-            if match is None:
-                continue
-            rules = match.group("rules")
-            ids = {r.strip() for r in rules.split(",")} if rules else None
-            if match.group("kind") == "disable-file":
-                if ids is None or self._file_suppress is None:
-                    self._file_suppress = None
+            ttype = tok.type
+            if ttype == tokenize.OP:
+                if tok.string in "([{":
+                    depth += 1
+                elif tok.string in ")]}":
+                    depth -= 1
+            if ttype == tokenize.COMMENT:
+                match = _SUPPRESS_RE.search(tok.string)
+                if match is None:
+                    continue
+                self.suppression_comments += 1
+                rules = match.group("rules")
+                ids = {r.strip() for r in rules.split(",")} if rules else None
+                if match.group("kind") == "disable-file":
+                    if ids is None or self._file_suppress is None:
+                        self._file_suppress = None
+                    else:
+                        self._file_suppress.update(ids)
                 else:
-                    self._file_suppress.update(ids)
-            else:
-                line = tok.start[0]
-                existing = self._line_suppress.get(line, set())
-                if ids is None or existing is None:
-                    self._line_suppress[line] = None
-                else:
-                    existing.update(ids)
-                    self._line_suppress[line] = existing
+                    pending.append((tok.start[0], ids))
+            elif ttype == tokenize.NEWLINE:
+                end = tok.start[0]
+                start = logical_start if logical_start is not None else end
+                for _line, ids in pending:
+                    for line in range(start, end + 1):
+                        self._suppress_line(line, ids)
+                pending.clear()
+                logical_start = None
+            elif ttype == tokenize.NL:
+                if depth == 0 and logical_start is None:
+                    # standalone comment/blank line: applies to itself only
+                    for line, ids in pending:
+                        self._suppress_line(line, ids)
+                    pending.clear()
+            elif ttype not in _skip and logical_start is None:
+                logical_start = tok.start[0]
+        for line, ids in pending:  # trailing comment with no final NEWLINE
+            self._suppress_line(line, ids)
+
+    def _suppress_line(self, line: int, ids: Optional[Set[str]]) -> None:
+        existing = self._line_suppress.get(line, set())
+        if ids is None or existing is None:
+            self._line_suppress[line] = None
+        else:
+            existing = set(existing)
+            existing.update(ids)
+            self._line_suppress[line] = existing
 
     def _build_context(self) -> None:
         self._index_scopes(self.tree, self.tree)
@@ -297,9 +402,23 @@ class Module:
         """Names of generators passed to ``sim.process(...)`` in this module."""
         return self._registered_processes
 
+    @property
+    def line_suppressions(self) -> Dict[int, Optional[Set[str]]]:
+        """line -> suppressed rule ids (None = all); logical-line expanded."""
+        return self._line_suppress
+
+    @property
+    def file_suppressions(self) -> Optional[Set[str]]:
+        """File-wide suppressed rule ids (None = every rule suppressed)."""
+        return self._file_suppress
+
     def scope_of(self, node: ast.AST) -> ast.AST:
         """The function/class/module scope enclosing *node*."""
         return self._scope.get(id(node), self.tree)
+
+    def scope_parent_of(self, scope: ast.AST) -> Optional[ast.AST]:
+        """The scope enclosing *scope* (None at module level)."""
+        return self._scope_parent.get(id(scope))
 
     def _scope_chain(self, scope: ast.AST) -> Iterator[ast.AST]:
         current: Optional[ast.AST] = scope
@@ -375,31 +494,137 @@ class Module:
 
 # -- driver --------------------------------------------------------------------
 
+@dataclasses.dataclass
+class Report:
+    """Everything one analysis run produced (the CLI/JSON-v2 payload)."""
+
+    findings: List[Finding]
+    errors: List[str]
+    files_analyzed: int
+    #: findings dropped by ``snacclint: disable`` comments (both passes)
+    suppressed_findings: int = 0
+    #: total ``snacclint: disable`` comments seen — the ratchet metric
+    suppression_comments: int = 0
+    #: files served from the incremental cache without re-analysis
+    cache_hits: int = 0
+
+
+def _split_selection(
+    select: Optional[Iterable[str]],
+    ignore: Optional[Iterable[str]],
+) -> Tuple[List[str], List[str]]:
+    """Validated (per-file ids, program ids) for a select/ignore pair."""
+    per_file = all_rules()
+    program = all_program_rules()
+    known = set(per_file) | set(program)
+    selected = set(select) if select is not None else set(known)
+    if ignore:
+        selected -= set(ignore)
+    unknown = selected - known
+    if unknown:
+        raise ValueError(f"unknown rule ids: {sorted(unknown)}")
+    return (sorted(selected & set(per_file)),
+            sorted(selected & set(program)))
+
+
 def analyze_source(
     source: str,
     path: str = "<string>",
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
 ) -> List[Finding]:
-    """Run the rule pack over one source string; returns sorted findings.
+    """Run the per-file rule pack over one source string (sorted findings).
 
-    *select*/*ignore* restrict the rule set by id.  Raises
-    :class:`SyntaxError` if the source does not parse.
+    *select*/*ignore* restrict the rule set by id (whole-program ids are
+    accepted but produce nothing here — a single snippet has no program).
+    Raises :class:`SyntaxError` if the source does not parse.
     """
-    rules = all_rules()
-    selected = set(select) if select is not None else set(rules)
-    if ignore:
-        selected -= set(ignore)
-    unknown = selected - set(rules)
-    if unknown:
-        raise ValueError(f"unknown rule ids: {sorted(unknown)}")
+    per_file_ids, _program_ids = _split_selection(select, ignore)
     module = Module(path, source)
-    findings = [
-        f
-        for rule_id in sorted(selected)
-        for f in rules[rule_id].check(module)
-        if not module.is_suppressed(f.line, f.rule_id)
-    ]
+    kept, _suppressed = _run_file_rules(module, per_file_ids)
+    return kept
+
+
+def _run_file_rules(
+    module: Module, per_file_ids: Sequence[str],
+) -> Tuple[List[Finding], int]:
+    """(kept findings, suppressed count) for the per-file pass."""
+    rules = all_rules()
+    raw = [f for rule_id in per_file_ids for f in rules[rule_id].check(module)]
+    kept = sorted(f for f in raw
+                  if not module.is_suppressed(f.line, f.rule_id))
+    return kept, len(raw) - len(kept)
+
+
+def _analyze_module(path: str, source: str, per_file_ids: Sequence[str]):
+    """One file's full extraction: per-file findings + program summary."""
+    from .program import summarize  # local import: program imports engine
+
+    module = Module(path, source)
+    kept, suppressed = _run_file_rules(module, per_file_ids)
+    return kept, suppressed, summarize(module)
+
+
+def _pool_worker(args: Tuple[str, Tuple[str, ...]]):
+    """Process-pool entry point: analyze one file, return picklable results.
+
+    Errors come back as strings so a parse failure in one worker doesn't
+    poison the pool.
+    """
+    path, per_file_ids = args
+    try:
+        source = Path(path).read_text(encoding="utf-8")
+        kept, suppressed, summary = _analyze_module(path, source, per_file_ids)
+        return (path, kept, suppressed, summary, None)
+    except SyntaxError as exc:
+        return (path, [], 0, None,
+                f"{path}:{exc.lineno or 0}: syntax error: {exc.msg}")
+    except OSError as exc:
+        return (path, [], 0, None, f"{path}: {exc}")
+
+
+def _run_program_rules(
+    summaries: Sequence["object"], program_ids: Sequence[str],
+) -> Tuple[List[Finding], int]:
+    """(kept findings, suppressed count) for the whole-program pass."""
+    from .program import Program
+
+    program = Program([s for s in summaries if s is not None])
+    rules = all_program_rules()
+    kept: List[Finding] = []
+    suppressed = 0
+    for rule_id in program_ids:
+        for finding in rules[rule_id].check_program(program):
+            summary = program.by_path.get(finding.path)
+            if summary is not None and summary.is_suppressed(
+                    finding.line, finding.rule_id):
+                suppressed += 1
+            else:
+                kept.append(finding)
+    return sorted(kept), suppressed
+
+
+def analyze_sources(
+    files: Dict[str, str],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Analyze an in-memory multi-file project (both passes, no IO).
+
+    *files* maps paths to source text.  This is the unit-test surface for
+    the whole-program rules: cross-module fixtures stay inline with the
+    test that explains them.
+    """
+    per_file_ids, program_ids = _split_selection(select, ignore)
+    findings: List[Finding] = []
+    summaries = []
+    for path in sorted(files):
+        kept, _suppressed, summary = _analyze_module(
+            path, files[path], per_file_ids)
+        findings.extend(kept)
+        summaries.append(summary)
+    prog_findings, _suppressed = _run_program_rules(summaries, program_ids)
+    findings.extend(prog_findings)
     return sorted(findings)
 
 
@@ -435,30 +660,115 @@ def analyze_paths(
     paths: Sequence[str],
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
+    jobs: int = 1,
+    cache=None,
 ) -> Tuple[List[Finding], List[str], int]:
-    """Analyze every Python file under *paths*.
+    """Analyze every Python file under *paths* (both rule passes).
 
     Returns ``(findings, errors, files_analyzed)`` where *errors* are
     human-readable parse/IO failures (CLI exit code 2 when non-empty).
+    Thin compatibility wrapper around :func:`analyze_paths_report`.
     """
-    findings: List[Finding] = []
-    errors: List[str] = []
-    count = 0
+    report = analyze_paths_report(paths, select=select, ignore=ignore,
+                                  jobs=jobs, cache=cache)
+    return report.findings, report.errors, report.files_analyzed
+
+
+def analyze_paths_report(
+    paths: Sequence[str],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    jobs: int = 1,
+    cache=None,
+) -> Report:
+    """Full analysis of *paths*: per-file pass, then whole-program pass.
+
+    *jobs* > 1 fans the per-file pass out over a process pool; results are
+    merged in path order so the output is byte-identical to a serial run.
+    *cache* (an :class:`~repro.analysis.incremental.AnalysisCache`) skips
+    re-analysis of files whose content hash is unchanged; the program pass
+    itself is cached keyed on the hash of every file in the run.
+    """
+    per_file_ids, program_ids = _split_selection(select, ignore)
     try:
-        files = list(iter_python_files(paths))
+        files = [str(f) for f in iter_python_files(paths)]
     except FileNotFoundError as exc:
-        return [], [str(exc)], 0
-    for file in files:
-        count += 1
-        try:
-            source = file.read_text(encoding="utf-8")
-            findings.extend(analyze_source(source, path=str(file),
-                                           select=select, ignore=ignore))
-        except SyntaxError as exc:
-            errors.append(f"{file}:{exc.lineno or 0}: syntax error: {exc.msg}")
-        except OSError as exc:
-            errors.append(f"{file}: {exc}")
-    return sorted(findings), errors, count
+        return Report(findings=[], errors=[str(exc)], files_analyzed=0)
+
+    errors: Dict[str, str] = {}
+    findings_by_path: Dict[str, List[Finding]] = {}
+    summaries_by_path: Dict[str, object] = {}
+    suppressed = 0
+    cache_hits = 0
+
+    pending: List[str] = []
+    for path in files:
+        hit = cache.lookup_file(path, per_file_ids) if cache is not None else None
+        if hit is not None:
+            file_findings, file_suppressed, summary = hit
+            findings_by_path[path] = file_findings
+            summaries_by_path[path] = summary
+            suppressed += file_suppressed
+            cache_hits += 1
+        else:
+            pending.append(path)
+
+    def record(path, kept, file_suppressed, summary, error):
+        nonlocal suppressed
+        if error is not None:
+            errors[path] = error
+            return
+        findings_by_path[path] = kept
+        summaries_by_path[path] = summary
+        suppressed += file_suppressed
+        if cache is not None:
+            cache.store_file(path, per_file_ids, kept, file_suppressed, summary)
+
+    if jobs > 1 and len(pending) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        work = [(path, tuple(per_file_ids)) for path in pending]
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for path, kept, file_suppressed, summary, error in pool.map(
+                    _pool_worker, work):
+                record(path, kept, file_suppressed, summary, error)
+    else:
+        for path in pending:
+            path, kept, file_suppressed, summary, error = _pool_worker(
+                (path, tuple(per_file_ids)))
+            record(path, kept, file_suppressed, summary, error)
+
+    # Deterministic merge: path order regardless of worker completion order.
+    findings: List[Finding] = []
+    for path in files:
+        findings.extend(findings_by_path.get(path, ()))
+    summaries = [summaries_by_path[p] for p in files if p in summaries_by_path]
+
+    prog_cached = (cache.lookup_program(summaries_by_path, program_ids)
+                   if cache is not None else None)
+    if prog_cached is not None:
+        prog_findings, prog_suppressed = prog_cached
+    else:
+        prog_findings, prog_suppressed = _run_program_rules(
+            summaries, program_ids)
+        if cache is not None:
+            cache.store_program(summaries_by_path, program_ids,
+                                prog_findings, prog_suppressed)
+    findings.extend(prog_findings)
+    suppressed += prog_suppressed
+
+    suppression_comments = sum(
+        getattr(s, "suppression_comments", 0) for s in summaries)
+    if cache is not None:
+        cache.save()
+    return Report(
+        findings=sorted(findings),
+        errors=[errors[p] for p in files if p in errors],
+        files_analyzed=len(files),
+        suppressed_findings=suppressed,
+        suppression_comments=suppression_comments,
+        cache_hits=cache_hits,
+    )
 
 
 # -- reporters -------------------------------------------------------------------
@@ -471,14 +781,25 @@ def render_text(findings: Sequence[Finding], files_analyzed: int) -> str:
     return "\n".join(lines)
 
 
-def render_json(findings: Sequence[Finding], files_analyzed: int) -> str:
-    """Machine-readable report (stable shape, see README)."""
-    return json.dumps(
-        {
-            "version": 1,
-            "files_analyzed": files_analyzed,
-            "count": len(findings),
-            "findings": [f.as_dict() for f in findings],
-        },
-        indent=2,
-    )
+def render_json(
+    findings: Sequence[Finding],
+    files_analyzed: int,
+    report: Optional[Report] = None,
+) -> str:
+    """Machine-readable report (stable shape, see README).
+
+    Version 2 adds the suppression-debt counters (``suppressed_findings``,
+    ``suppression_comments``) and ``cache_hits`` when a full
+    :class:`Report` is available; the v1 keys are unchanged.
+    """
+    doc: Dict[str, object] = {
+        "version": 2,
+        "files_analyzed": files_analyzed,
+        "count": len(findings),
+        "findings": [f.as_dict() for f in findings],
+    }
+    if report is not None:
+        doc["suppressed_findings"] = report.suppressed_findings
+        doc["suppression_comments"] = report.suppression_comments
+        doc["cache_hits"] = report.cache_hits
+    return json.dumps(doc, indent=2)

@@ -1,0 +1,200 @@
+"""Incremental analysis cache: skip files whose content hash is unchanged.
+
+The whole-program pass made snacclint O(project) per invocation; this
+module gives it back its per-file economics.  The cache persists one JSON
+document (default ``.snacclint_cache.json`` in the working directory):
+
+* per file — the content SHA-256, the per-file findings, the suppressed
+  count, and the :class:`~repro.analysis.program.ModuleSummary`, keyed by
+  the rule selection that produced them;
+* for the program pass — the findings keyed on the hash of *every* file's
+  content hash, so touching any file re-runs the (cheap, summary-driven)
+  whole-program rules while untouched files skip parsing entirely.
+
+Every entry is additionally keyed on the *engine version* — a digest of
+the analyzer's own source files — so editing a rule invalidates the world
+without any manual cache flush.  Writes are atomic (tmp + ``os.replace``)
+and every load failure degrades to an empty cache: the cache can make a
+run faster, never wrong.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .engine import Finding
+from .program import ModuleSummary
+
+__all__ = ["AnalysisCache", "DEFAULT_CACHE_NAME", "engine_version"]
+
+DEFAULT_CACHE_NAME = ".snacclint_cache.json"
+
+_CACHE_VERSION = 1
+_engine_version_memo: Optional[str] = None
+
+
+def engine_version() -> str:
+    """Digest of the analyzer's own sources; changes invalidate the cache."""
+    global _engine_version_memo
+    if _engine_version_memo is None:
+        digest = hashlib.sha256()
+        package_root = Path(__file__).resolve().parent
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _engine_version_memo = digest.hexdigest()
+    return _engine_version_memo
+
+
+def _finding_from_dict(doc: Dict[str, object]) -> Finding:
+    return Finding(path=str(doc["path"]), line=int(doc["line"]),  # type: ignore[arg-type]
+                   col=int(doc["col"]), rule_id=str(doc["rule"]),  # type: ignore[arg-type]
+                   message=str(doc["message"]))
+
+
+class AnalysisCache:
+    """Content-addressed per-file + program-pass result cache."""
+
+    def __init__(self, path: str):
+        self.path = Path(path)
+        self._files: Dict[str, Dict[str, object]] = {}
+        self._program: Optional[Dict[str, object]] = None
+        self._sha_by_path: Dict[str, str] = {}
+        self._dirty = False
+        self.hits = 0
+        self._load()
+
+    # ------------------------------------------------------------- storage
+    def _load(self) -> None:
+        try:
+            doc = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if (not isinstance(doc, dict)
+                or doc.get("version") != _CACHE_VERSION
+                or doc.get("engine") != engine_version()):
+            return
+        files = doc.get("files")
+        if isinstance(files, dict):
+            self._files = files
+        program = doc.get("program")
+        if isinstance(program, dict):
+            self._program = program
+
+    def save(self) -> None:
+        """Atomically persist the cache (no-op when nothing changed)."""
+        if not self._dirty:
+            return
+        doc = {
+            "version": _CACHE_VERSION,
+            "engine": engine_version(),
+            "files": self._files,
+            "program": self._program,
+        }
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        try:
+            tmp.write_text(json.dumps(doc, sort_keys=True), encoding="utf-8")
+            os.replace(tmp, self.path)
+        except OSError:
+            # A read-only tree degrades to a no-cache run, not a failure.
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return
+        self._dirty = False
+
+    # ------------------------------------------------------------ per file
+    def _content_sha(self, path: str) -> Optional[str]:
+        sha = self._sha_by_path.get(path)
+        if sha is None:
+            try:
+                sha = hashlib.sha256(Path(path).read_bytes()).hexdigest()
+            except OSError:
+                return None
+            self._sha_by_path[path] = sha
+        return sha
+
+    def lookup_file(
+        self, path: str, rule_ids: Sequence[str],
+    ) -> Optional[Tuple[List[Finding], int, ModuleSummary]]:
+        """Cached (findings, suppressed, summary) if *path* is unchanged."""
+        sha = self._content_sha(path)
+        entry = self._files.get(path)
+        if (sha is None or entry is None or entry.get("sha") != sha
+                or entry.get("rules") != list(rule_ids)):
+            return None
+        try:
+            findings = [_finding_from_dict(f) for f in entry["findings"]]  # type: ignore[union-attr]
+            summary = ModuleSummary.from_dict(entry["summary"])  # type: ignore[arg-type]
+            suppressed = int(entry["suppressed"])  # type: ignore[arg-type]
+        except (KeyError, TypeError, ValueError):
+            return None
+        self.hits += 1
+        return findings, suppressed, summary
+
+    def store_file(
+        self, path: str, rule_ids: Sequence[str],
+        findings: Sequence[Finding], suppressed: int,
+        summary: ModuleSummary,
+    ) -> None:
+        sha = self._content_sha(path)
+        if sha is None:
+            return
+        self._files[path] = {
+            "sha": sha,
+            "rules": list(rule_ids),
+            "findings": [f.as_dict() for f in findings],
+            "suppressed": suppressed,
+            "summary": summary.to_dict(),
+        }
+        self._dirty = True
+
+    # ------------------------------------------------------------- program
+    def _program_key(self, paths: Sequence[str],
+                     rule_ids: Sequence[str]) -> Optional[str]:
+        digest = hashlib.sha256()
+        digest.update(",".join(rule_ids).encode())
+        for path in sorted(paths):
+            sha = self._content_sha(path)
+            if sha is None:
+                return None
+            digest.update(path.encode())
+            digest.update(b"\0")
+            digest.update(sha.encode())
+        return digest.hexdigest()
+
+    def lookup_program(
+        self, summaries_by_path: Dict[str, object], rule_ids: Sequence[str],
+    ) -> Optional[Tuple[List[Finding], int]]:
+        """Cached program-pass results if no analyzed file changed."""
+        key = self._program_key(list(summaries_by_path), rule_ids)
+        entry = self._program
+        if key is None or entry is None or entry.get("key") != key:
+            return None
+        try:
+            findings = [_finding_from_dict(f) for f in entry["findings"]]  # type: ignore[union-attr]
+            suppressed = int(entry["suppressed"])  # type: ignore[arg-type]
+        except (KeyError, TypeError, ValueError):
+            return None
+        return findings, suppressed
+
+    def store_program(
+        self, summaries_by_path: Dict[str, object], rule_ids: Sequence[str],
+        findings: Sequence[Finding], suppressed: int,
+    ) -> None:
+        key = self._program_key(list(summaries_by_path), rule_ids)
+        if key is None:
+            return
+        self._program = {
+            "key": key,
+            "findings": [f.as_dict() for f in findings],
+            "suppressed": suppressed,
+        }
+        self._dirty = True

@@ -1,6 +1,8 @@
 """snacclint rule pack: DES-specific hazards for the repro simulation kernel.
 
-Importing this package registers every rule with the engine registry:
+Importing this package registers every rule with the engine registry.
+SIM001–SIM005 are per-file; SIM006–SIM010 run on the whole-program pass
+(:mod:`repro.analysis.program`).
 
 ========  ==================================================================
 SIM001    event minted by a sim factory but never consumed
@@ -8,9 +10,15 @@ SIM002    generator function called but never registered via ``sim.process``
 SIM003    float expression flowing into an integer-ns time/delay argument
 SIM004    nondeterminism source (wall clock, unseeded RNG)
 SIM005    ``yield`` of a statically non-Event expression in a process
+SIM006    wait on an event with no reachable setter (static deadlock)
+SIM007    unbounded blocking wait on a fault-recovery path
+SIM008    mutable module-level state reachable from spawned bench jobs
+SIM009    job code reading inputs not covered by ``code_fingerprint``
+SIM010    ns/bytes/cycles unit confusion across a call boundary
 ========  ==================================================================
 """
 
-from . import determinism, events, timing
+from . import deadlock, determinism, events, spawn, timing, units_flow
 
-__all__ = ["events", "timing", "determinism"]
+__all__ = ["events", "timing", "determinism", "deadlock", "spawn",
+           "units_flow"]

@@ -1,0 +1,107 @@
+"""Spawn-safety and cache-soundness rules: SIM008, SIM009.
+
+The bench runner executes job functions in ``ProcessPoolExecutor``
+workers and memoizes their results in a content-addressed cache.  Both
+mechanisms make assumptions about job code that nothing enforced until
+now: workers must not communicate through module globals (each process
+has its own copy, so writes are silently lost — or worse, order-dependent
+when the pool is re-used), and every input that can change a job's output
+must be covered by ``code_fingerprint`` (otherwise ``.bench_cache/``
+returns stale rows).
+
+Both rules scope themselves to the modules actually *reachable* from a
+job root — a module defining ``POINT_FUNCTIONS`` — via the program import
+graph, so host-side tooling (reporters, the analyzer itself) stays out of
+scope no matter what it does.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Set
+
+from ..engine import Finding, ProgramRule, register_program
+
+__all__ = ["MutableGlobalInJobPath", "FingerprintGap",
+           "FINGERPRINT_ALLOWED_FILES"]
+
+#: files allowed to read env vars / files from job-reachable code: the
+#: cache implementation itself (its env var selects *where* the cache
+#: lives, and its file reads are what *computes* the fingerprint).  Kept
+#: here, not inline, so the exemption is reviewable in one place —
+#: mirrors WALLCLOCK_ALLOWED_FILES in the determinism rule.
+FINGERPRINT_ALLOWED_FILES = (
+    "repro/bench/cache.py",
+)
+
+
+def _job_reachable(program) -> Set[str]:
+    return program.reachable_from(program.job_roots())
+
+
+@register_program
+class MutableGlobalInJobPath(ProgramRule):
+    """SIM008: module-level mutable state mutated by job-reachable code.
+
+    Flags a module-level ``list``/``dict``/``set``-like binding that some
+    function in the same module mutates (mutator method call, subscript
+    store, ``global`` rebind), when the module is import-reachable from a
+    bench job root.  Read-only module tables (profiles, lookup dicts)
+    never trip the rule — there has to be a *write* from function scope.
+    """
+
+    id = "SIM008"
+    title = "mutable module state in spawned job path"
+    hazard = ("pool workers each mutate their own copy of a module "
+              "global; results silently diverge between -j1 and -jN runs")
+
+    def check_program(self, program) -> Iterator[Finding]:
+        reachable = _job_reachable(program)
+        for summary in program.summaries:
+            if summary.module not in reachable:
+                continue
+            mutated = set(summary.mutated_globals)
+            for name, line in summary.mutable_globals:
+                if name in mutated:
+                    yield self.finding_at(
+                        summary.path, line, 1,
+                        f"module-level mutable '{name}' is mutated from "
+                        f"function scope and module '{summary.module}' is "
+                        f"reachable from a bench job root; per-worker "
+                        f"copies diverge under the process pool — pass "
+                        f"state explicitly or move it into the job")
+
+
+@register_program
+class FingerprintGap(ProgramRule):
+    """SIM009: job-reachable code reads inputs the cache cannot see.
+
+    ``code_fingerprint`` hashes the ``repro`` package sources (and, since
+    this PR, its data files and ``pyproject.toml``) — nothing else.  A
+    job-reachable ``open(...)`` read, ``Path.read_text``/``read_bytes``,
+    or environment-variable read makes the job's output depend on state
+    outside that hash, so a change to it would *not* invalidate
+    ``.bench_cache/`` and stale rows would be served as fresh.
+    """
+
+    id = "SIM009"
+    title = "cache-fingerprint gap"
+    hazard = ("job output depends on a file/env input code_fingerprint "
+              "does not hash; the result cache returns stale rows after "
+              "that input changes")
+
+    def check_program(self, program) -> Iterator[Finding]:
+        reachable = _job_reachable(program)
+        for summary in program.summaries:
+            if summary.module not in reachable:
+                continue
+            if summary.path.replace("\\", "/").endswith(
+                    FINGERPRINT_ALLOWED_FILES):
+                continue
+            for desc, line, col in summary.io_reads:
+                yield self.finding_at(
+                    summary.path, line, col,
+                    f"{desc} read in job-reachable module "
+                    f"'{summary.module}' is not covered by "
+                    f"code_fingerprint; the bench cache would serve stale "
+                    f"results when this input changes — hash it into the "
+                    f"job's work dict or add it to code_fingerprint")

@@ -26,7 +26,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, Optional
 
 __all__ = ["ResultCache", "code_fingerprint", "default_cache_dir",
-           "CACHE_SCHEMA", "CACHE_DIR_ENV"]
+           "CACHE_SCHEMA", "CACHE_DIR_ENV", "DATA_FILE_PATTERNS"]
 
 CACHE_SCHEMA = 1
 CACHE_DIR_ENV = "REPRO_BENCH_CACHE"
@@ -39,23 +39,62 @@ def default_cache_dir() -> Path:
     return Path(override) if override else Path(DEFAULT_CACHE_DIRNAME)
 
 
-def code_fingerprint(roots: Optional[Iterable[Path]] = None) -> str:
-    """SHA-256 over every ``*.py`` file of the ``repro`` package.
+#: non-``.py`` file types under the package that can change job results:
+#: packaged data/profile tables in any of the formats the tree uses.
+DATA_FILE_PATTERNS = ("*.json", "*.csv", "*.toml", "*.yaml", "*.yml",
+                      "*.txt", "*.dat")
 
-    The digest covers relative paths *and* contents in sorted order, so
-    renaming, editing, adding, or deleting any source file changes it.
+
+def _project_config_files() -> Iterable[Path]:
+    """``pyproject.toml`` of the installed/source tree, when locatable.
+
+    A src-layout checkout keeps it two levels above the package
+    (``<repo>/src/repro`` → ``<repo>/pyproject.toml``); an installed
+    wheel has none, in which case the fingerprint simply omits it.
+    """
+    import repro
+
+    package_root = Path(repro.__file__).resolve().parent
+    for candidate in (package_root.parent.parent / "pyproject.toml",
+                      package_root.parent / "pyproject.toml"):
+        if candidate.is_file():
+            return [candidate]
+    return []
+
+
+def code_fingerprint(roots: Optional[Iterable[Path]] = None,
+                     extra_files: Optional[Iterable[Path]] = None) -> str:
+    """SHA-256 over every result-affecting input of the ``repro`` package.
+
+    The digest covers, in sorted order, relative paths *and* contents of
+    every ``*.py`` file under *roots* plus every packaged data/profile
+    file (:data:`DATA_FILE_PATTERNS`), and — by default — the project's
+    ``pyproject.toml`` (tool config can change numeric behavior, e.g.
+    warning filters).  Renaming, editing, adding, or deleting any of them
+    changes the fingerprint and invalidates the whole cache.  Pass
+    *extra_files* to pin additional out-of-tree inputs into the key.
     """
     if roots is None:
         import repro
         roots = [Path(repro.__file__).resolve().parent]
+        if extra_files is None:
+            extra_files = _project_config_files()
     digest = hashlib.sha256()
     for root in roots:
         root = Path(root).resolve()
-        for path in sorted(root.rglob("*.py")):
+        files = set(root.rglob("*.py"))
+        for pattern in DATA_FILE_PATTERNS:
+            files.update(root.rglob(pattern))
+        for path in sorted(files):
             digest.update(path.relative_to(root).as_posix().encode())
             digest.update(b"\0")
             digest.update(path.read_bytes())
             digest.update(b"\0")
+    for path in sorted(Path(p).resolve() for p in (extra_files or ())):
+        digest.update(path.name.encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
     return digest.hexdigest()
 
 

@@ -1,0 +1,33 @@
+"""Fixture: SIM006 — waits on events nothing in the program can trigger."""
+
+sim = get_simulator()  # noqa: F821
+
+
+class Engine:
+    def __init__(self, sim):
+        self.sim = sim
+        self._stall_evt = sim.event()
+        self._kick_evt = sim.event()
+
+    def run(self):
+        yield self._stall_evt  # HAZARD SIM006
+
+    def spin(self):
+        # near miss: the same class triggers _kick_evt below
+        yield self._kick_evt
+
+    def kick(self):
+        self._kick_evt.succeed()
+
+
+def orphan_wait(sim):
+    ev = sim.event()
+    yield ev  # HAZARD SIM006
+
+
+def escaped_wait(sim, bag):
+    # near miss: the event escapes into a container, so some other code
+    # could still trigger it
+    ev = sim.event()
+    bag.append(ev)
+    yield ev

@@ -1,0 +1,18 @@
+"""Fixture: SIM007 — a recovery path blocking on a bare event, unguarded."""
+
+sim = get_simulator()  # noqa: F821
+
+
+class Driver:
+    def _retry_submit(self):
+        yield self._cq_space  # HAZARD SIM007
+
+
+class GuardedDriver:
+    # near miss: this class also defines a watchdog sweeper, so its retry
+    # wait is assumed to be swept on timeout (the SPDK driver pattern)
+    def _retry_submit(self):
+        yield self._cq_room
+
+    def _scan_timeouts(self):
+        yield sim.timeout(10)

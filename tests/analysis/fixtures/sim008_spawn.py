@@ -1,0 +1,17 @@
+"""Fixture: SIM008 — module-level mutable state mutated in a job module."""
+
+_RESULTS = []  # HAZARD SIM008
+
+# near miss: a module-level table that is only ever *read* is fine
+_PROFILE_TABLE = {"default": 4096}
+
+
+def record(row):
+    _RESULTS.append(row)
+
+
+def lookup(name):
+    return _PROFILE_TABLE[name]
+
+
+POINT_FUNCTIONS = {"record": record}

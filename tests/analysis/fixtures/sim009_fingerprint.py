@@ -1,0 +1,22 @@
+"""Fixture: SIM009 — job code reading inputs code_fingerprint never hashes."""
+
+import os
+from pathlib import Path
+
+
+def load_profile(path):
+    return Path(path).read_text()  # HAZARD SIM009
+
+
+def tuned_depth():
+    return int(os.environ.get("QUEUE_DEPTH", "32"))  # HAZARD SIM009
+
+
+def write_report(path, text):
+    # near miss: a write-mode open produces output, it does not make the
+    # job's result depend on hidden input
+    with open(path, "w") as fh:
+        fh.write(text)
+
+
+POINT_FUNCTIONS = {"load": load_profile}

@@ -1,0 +1,26 @@
+"""Fixture: SIM010 — tagged ints crossing call boundaries into wrong units."""
+
+sim = get_simulator()  # noqa: F821
+
+
+def issue_io(delay_ns, nbytes):
+    return delay_ns + nbytes
+
+
+def transfer(sim, chunk_bytes, wait_ns):
+    yield sim.timeout(chunk_bytes)  # HAZARD SIM010
+    # near miss: an ns-tagged delay is exactly what timeout expects
+    yield sim.timeout(wait_ns)
+
+
+def account(total_bytes):
+    return issue_io(total_bytes, 0)  # HAZARD SIM010
+
+
+def account_ok(lat_ns, size_bytes):
+    # near miss: both positions carry the units the callee declares
+    return issue_io(lat_ns, size_bytes)
+
+
+def tag_kwargs(size_bytes):
+    return issue_io(delay_ns=size_bytes, nbytes=size_bytes)  # HAZARD SIM010

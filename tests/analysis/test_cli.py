@@ -25,6 +25,11 @@ RULE_FIXTURES = [
     "sim003_float_delay.py",
     "sim004_nondeterminism.py",
     "sim005_yield_non_event.py",
+    "sim006_deadlock.py",
+    "sim007_recovery.py",
+    "sim008_spawn.py",
+    "sim009_fingerprint.py",
+    "sim010_units.py",
 ]
 
 
@@ -80,13 +85,17 @@ class TestCli:
         proc = run_cli(str(fixture), "--format", "json")
         assert proc.returncode == 1
         doc = json.loads(proc.stdout)
-        assert doc["version"] == 1
+        assert doc["version"] == 2
         assert doc["files_analyzed"] == 1
         assert doc["count"] == len(doc["findings"])
         got = [(f["rule"], f["line"]) for f in doc["findings"]]
         assert got == expected_hazards(fixture)
         first = doc["findings"][0]
         assert set(first) == {"path", "line", "col", "rule", "message"}
+        # v2 additions: suppression-debt counters + cache telemetry
+        assert doc["suppressed_findings"] == 0
+        assert doc["suppression_comments"] == 0
+        assert doc["cache_hits"] in (0, 1)
 
     def test_clean_file_exits_0(self, tmp_path):
         clean = tmp_path / "clean.py"
@@ -123,5 +132,90 @@ class TestCli:
     def test_list_rules(self):
         proc = run_cli("--list-rules")
         assert proc.returncode == 0
-        for rid in ("SIM001", "SIM002", "SIM003", "SIM004", "SIM005"):
+        for rid in ("SIM001", "SIM002", "SIM003", "SIM004", "SIM005",
+                    "SIM006", "SIM007", "SIM008", "SIM009", "SIM010"):
             assert rid in proc.stdout
+
+
+class TestCliV2:
+    """--jobs, --output, the incremental cache, and the baseline ratchet."""
+
+    def test_jobs_output_identical_to_serial(self):
+        files = [str(FIXTURES / name) for name in RULE_FIXTURES]
+        serial = run_cli(*files, "--format", "json", "--no-incremental")
+        parallel = run_cli(*files, "--format", "json", "--jobs", "4",
+                           "--no-incremental")
+        assert serial.returncode == parallel.returncode == 1
+        assert json.loads(serial.stdout) == json.loads(parallel.stdout)
+
+    def test_jobs_rejects_zero(self):
+        proc = run_cli(str(FIXTURES / "sim003_float_delay.py"), "--jobs", "0")
+        assert proc.returncode == 2
+
+    def test_output_artifact_written(self, tmp_path):
+        out = tmp_path / "snacclint.json"
+        proc = run_cli(str(FIXTURES / "sim003_float_delay.py"),
+                       "--output", str(out), "--no-incremental")
+        assert proc.returncode == 1
+        doc = json.loads(out.read_text())
+        assert doc["version"] == 2
+        got = [(f["rule"], f["line"]) for f in doc["findings"]]
+        assert got == expected_hazards(FIXTURES / "sim003_float_delay.py")
+
+    def test_incremental_cache_hits_second_run(self, tmp_path):
+        cache = tmp_path / "cache.json"
+        fixture = FIXTURES / "sim010_units.py"
+        cold = run_cli(str(fixture), "--cache-file", str(cache),
+                       "--format", "json")
+        warm = run_cli(str(fixture), "--cache-file", str(cache),
+                       "--format", "json")
+        assert cold.returncode == warm.returncode == 1
+        cold_doc, warm_doc = json.loads(cold.stdout), json.loads(warm.stdout)
+        assert cold_doc["cache_hits"] == 0
+        assert warm_doc["cache_hits"] == 1
+        assert cold_doc["findings"] == warm_doc["findings"]
+
+    def test_write_baseline_then_ratchet_passes(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        src = tmp_path / "mod.py"
+        src.write_text("import time\n"
+                       "t0 = time.time()  # snacclint: disable=SIM004\n")
+        proc = run_cli(str(src), "--write-baseline", str(baseline),
+                       "--no-incremental")
+        assert proc.returncode == 0
+        assert json.loads(baseline.read_text())["suppression_comments"] == 1
+        proc = run_cli(str(src), "--baseline", str(baseline),
+                       "--no-incremental")
+        assert proc.returncode == 0
+
+    def test_ratchet_fails_when_debt_grows(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps({"version": 1, "suppression_comments": 0}))
+        src = tmp_path / "mod.py"
+        src.write_text("import time\n"
+                       "t0 = time.time()  # snacclint: disable=SIM004\n")
+        proc = run_cli(str(src), "--baseline", str(baseline),
+                       "--no-incremental")
+        assert proc.returncode == 1
+        assert "suppression debt increased" in proc.stderr
+
+    def test_ratchet_nags_when_debt_shrinks(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps({"version": 1, "suppression_comments": 5}))
+        src = tmp_path / "mod.py"
+        src.write_text("x = 1\n")
+        proc = run_cli(str(src), "--baseline", str(baseline),
+                       "--no-incremental")
+        assert proc.returncode == 0
+        assert "ratchet it down" in proc.stdout
+
+    def test_malformed_baseline_exits_2(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("{not json")
+        src = tmp_path / "mod.py"
+        src.write_text("x = 1\n")
+        proc = run_cli(str(src), "--baseline", str(baseline),
+                       "--no-incremental")
+        assert proc.returncode == 2

@@ -1,0 +1,100 @@
+"""Incremental-cache behavior: hits, invalidation, and graceful failure."""
+
+import json
+
+import pytest
+
+from repro.analysis.engine import analyze_paths_report
+from repro.analysis.incremental import AnalysisCache, engine_version
+
+HAZARD = "import time\nt0 = time.time()\n"
+CLEAN = "def proc(sim):\n    yield sim.timeout(5)\n"
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    (tmp_path / "hazard.py").write_text(HAZARD)
+    (tmp_path / "clean.py").write_text(CLEAN)
+    return tmp_path
+
+
+def run(tree, cache):
+    return analyze_paths_report([str(tree)], cache=cache)
+
+
+class TestCacheHits:
+    def test_second_run_hits_for_every_file(self, tree, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        cold = run(tree, AnalysisCache(str(cache_path)))
+        assert cold.cache_hits == 0
+        warm = run(tree, AnalysisCache(str(cache_path)))
+        assert warm.cache_hits == 2
+        assert warm.findings == cold.findings
+        assert warm.files_analyzed == cold.files_analyzed
+
+    def test_changed_file_misses_unchanged_file_hits(self, tree, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        run(tree, AnalysisCache(str(cache_path)))
+        (tree / "hazard.py").write_text(CLEAN)
+        warm = run(tree, AnalysisCache(str(cache_path)))
+        assert warm.cache_hits == 1
+        assert warm.findings == []
+
+    def test_findings_survive_the_cache_round_trip(self, tree, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        cold = run(tree, AnalysisCache(str(cache_path)))
+        warm = run(tree, AnalysisCache(str(cache_path)))
+        assert [f.as_dict() for f in warm.findings] == \
+            [f.as_dict() for f in cold.findings]
+        assert warm.suppression_comments == cold.suppression_comments
+
+    def test_program_findings_cached_and_correct(self, tmp_path):
+        # a cross-module SIM009: the program-pass result itself is cached
+        proj = tmp_path / "proj"
+        proj.mkdir()
+        (proj / "jobs.py").write_text("POINT_FUNCTIONS = {}\nimport cfg\n")
+        (proj / "cfg.py").write_text(
+            "import os\ndef d():\n    return os.environ.get('X')\n")
+        cache_path = tmp_path / "cache.json"
+        cold = run(proj, AnalysisCache(str(cache_path)))
+        warm = run(proj, AnalysisCache(str(cache_path)))
+        assert [f.rule_id for f in cold.findings] == ["SIM009"]
+        assert warm.findings == cold.findings
+        assert warm.cache_hits == 2
+
+
+class TestInvalidation:
+    def test_rule_selection_change_invalidates(self, tree, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        run(tree, AnalysisCache(str(cache_path)))
+        narrowed = analyze_paths_report(
+            [str(tree)], select=["SIM003"],
+            cache=AnalysisCache(str(cache_path)))
+        assert narrowed.cache_hits == 0
+        assert narrowed.findings == []
+
+    def test_engine_version_mismatch_drops_cache(self, tree, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        run(tree, AnalysisCache(str(cache_path)))
+        doc = json.loads(cache_path.read_text())
+        assert doc["engine"] == engine_version()
+        doc["engine"] = "0" * 64
+        cache_path.write_text(json.dumps(doc))
+        warm = run(tree, AnalysisCache(str(cache_path)))
+        assert warm.cache_hits == 0
+
+    def test_corrupt_cache_file_degrades_to_cold_run(self, tree, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        cache_path.write_text("{definitely not json")
+        report = run(tree, AnalysisCache(str(cache_path)))
+        assert report.cache_hits == 0
+        assert report.files_analyzed == 2
+        # and the bad file was overwritten with a valid cache
+        json.loads(cache_path.read_text())
+
+    def test_cache_write_is_skipped_when_nothing_changed(self, tree, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        run(tree, AnalysisCache(str(cache_path)))
+        before = cache_path.stat().st_mtime_ns
+        run(tree, AnalysisCache(str(cache_path)))
+        assert cache_path.stat().st_mtime_ns == before

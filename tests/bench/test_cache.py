@@ -83,6 +83,44 @@ class TestCodeFingerprint:
         # a real fingerprint is cheap and deterministic within a process
         assert code_fingerprint() == code_fingerprint()
 
+    def test_data_file_edit_changes_fingerprint(self, tmp_path):
+        # the SIM009 stale-cache hole: non-.py inputs must invalidate too
+        root = self.make_tree(tmp_path)
+        (root / "profiles.json").write_text('{"depth": 32}\n')
+        before = code_fingerprint([root])
+        (root / "profiles.json").write_text('{"depth": 64}\n')
+        assert code_fingerprint([root]) != before
+
+    def test_new_data_file_changes_fingerprint(self, tmp_path):
+        root = self.make_tree(tmp_path)
+        before = code_fingerprint([root])
+        (root / "table.csv").write_text("a,b\n1,2\n")
+        assert code_fingerprint([root]) != before
+
+    def test_unrelated_extension_is_ignored(self, tmp_path):
+        root = self.make_tree(tmp_path)
+        before = code_fingerprint([root])
+        (root / "scratch.log").write_text("noise\n")
+        assert code_fingerprint([root]) == before
+
+    def test_extra_files_are_hashed(self, tmp_path):
+        root = self.make_tree(tmp_path)
+        config = tmp_path / "pyproject.toml"
+        config.write_text("[tool.x]\nv = 1\n")
+        before = code_fingerprint([root], extra_files=[config])
+        assert before != code_fingerprint([root])
+        config.write_text("[tool.x]\nv = 2\n")
+        assert code_fingerprint([root], extra_files=[config]) != before
+
+    def test_default_includes_pyproject(self, monkeypatch):
+        # editing the checked-out pyproject.toml must invalidate the cache;
+        # simulate by pointing the helper at a copy and comparing digests
+        import repro.bench.cache as cache_mod
+
+        baseline = code_fingerprint()
+        monkeypatch.setattr(cache_mod, "_project_config_files", lambda: [])
+        assert code_fingerprint() != baseline
+
     def test_default_cache_dir_env_override(self, monkeypatch):
         monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
         assert default_cache_dir() == Path(".bench_cache")
