@@ -6,9 +6,11 @@
 # snacclint (python -m repro.analysis) is always run — it has no
 # third-party dependencies.  ruff and mypy run when installed (pip
 # install -e '.[lint]') and are skipped with a notice otherwise, so the
-# gate works in minimal containers.  The perf smoke stage compares the
-# kernel microbenchmark against the committed BENCH_sim_kernel.json and
-# only *warns* on regression (wall-clock numbers move with host load).
+# gate works in minimal containers.  The perf gate compares the kernel
+# microbenchmark against the committed BENCH_sim_kernel.json: event-count
+# determinism and the >=4-core parallel speedup target are hard failures,
+# while throughput regressions only *warn* (wall-clock moves with host
+# load).
 # Exit code is non-zero if any hard gate that ran failed.
 # tests/analysis/test_check_script.py runs this script under plain
 # pytest, so `pytest -x -q` alone catches regressions.
@@ -70,12 +72,21 @@ print(f"--jobs 2 byte-identical to serial across {n_jobs} jobs "
       f"in {len(plan)} stages")
 EOF
 
-echo "== perf smoke (scripts/perf.py --check) =="
+echo "== perf gate (scripts/perf.py --check) =="
 if [ -f BENCH_sim_kernel.json ]; then
-    # Advisory only: a slow host is not a broken tree.
-    python scripts/perf.py --check \
-        || echo "WARNING: kernel perf regressed vs BENCH_sim_kernel.json" \
-                "(advisory; see scripts/perf.py)"
+    # Exit 1 is a hard gate (event-count determinism, parallel speedup on
+    # >=4-core hosts); exit 3 is an advisory throughput regression and
+    # exit 2 a stale baseline — both warn without failing the tree.
+    python scripts/perf.py --check
+    perf_rc=$?
+    case $perf_rc in
+        0) ;;
+        3) echo "WARNING: kernel throughput regressed vs" \
+                "BENCH_sim_kernel.json (advisory; see scripts/perf.py)" ;;
+        2) echo "WARNING: BENCH_sim_kernel.json is stale;" \
+                "regenerate with scripts/perf.py" ;;
+        *) status=1 ;;
+    esac
 else
     echo "skipped (no BENCH_sim_kernel.json; run scripts/perf.py)"
 fi

@@ -7,12 +7,27 @@ Usage::
     PYTHONPATH=src python scripts/perf.py --check    # validate against baseline
 
 The default mode runs a deterministic event-kernel microbenchmark (reported
-as events/sec) plus two small timed experiment subsets, and writes the
-results to ``BENCH_sim_kernel.json`` at the repo root.  ``--check`` re-runs
-only the microbenchmark and compares against the committed baseline: it
-exits non-zero when throughput regressed beyond ``--tolerance`` (default
-1.3x), which ``scripts/check.sh`` reports as a warning, not a failure —
-wall-clock numbers move with host load, so the gate is advisory.
+as events/sec), two small timed experiment subsets, and a serial-vs-parallel
+sweep of the warm-pool job runner (``--jobs`` 1/2/4), and writes the results
+to ``BENCH_sim_kernel.json`` (schema 2) at the repo root.
+
+``--check`` validates the current tree against the committed baseline and
+uses distinct exit codes so ``scripts/check.sh`` can tell hard failures
+from advisories:
+
+* ``0`` — everything passed.
+* ``1`` — hard failure: the kernel event count diverged from the baseline
+  (a determinism bug, never host noise), or the parallel-runner gate ran
+  (>= 4 usable cores) and ``--jobs 4`` fell below the required speedup.
+* ``2`` — the baseline is missing or stale (schema / workload shape).
+* ``3`` — advisory: kernel throughput regressed beyond ``--tolerance``
+  versus the committed baseline.  Wall-clock moves with host load, so
+  ``check.sh`` reports this as a warning, not a failure.
+
+The parallel gate is conditioned on ``>= 4`` usable cores because the
+speedup it enforces is physically impossible on smaller hosts — a 1-core
+CI box legitimately reports ~1x — so there it prints a skip notice
+instead of failing.
 
 This file is allowlisted for wall-clock reads in SIM004
 (``repro.analysis.rules.determinism``): it *times the simulator*, it is not
@@ -24,10 +39,11 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
-from typing import Any, Dict, Generator, Tuple
+from typing import Any, Dict, Generator, Optional, Sequence, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -37,11 +53,30 @@ from repro.sim.resources import Resource, Store  # noqa: E402
 from repro.units import MiB  # noqa: E402
 
 BASELINE_FILE = REPO_ROOT / "BENCH_sim_kernel.json"
-SCHEMA = 1
+SCHEMA = 2
 
 #: microbenchmark shape — changing these invalidates committed baselines
 N_PROCS = 64
 N_ITERS = 600
+
+#: parallel-runner sweep recorded in the baseline (jobs=1 is the reference)
+JOBS_SWEEP: Tuple[int, ...] = (1, 2, 4)
+#: hard gate: --jobs 4 must reach this speedup ... but only on hosts with
+#: at least GATE_MIN_CORES usable cores (the gate is meaningless below).
+GATE_MIN_SPEEDUP = 2.0
+GATE_JOBS = 4
+GATE_MIN_CORES = 4
+
+#: stage ids of the small uncached subset the sweep and the gate run on
+RUNNER_SUBSET = frozenset({"fig4b", "ablation_fc", "ablation_ooo"})
+
+
+def usable_cores() -> int:
+    """CPU cores actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux fallback
+        return os.cpu_count() or 1
 
 
 def _worker(sim: Simulator, res: Resource, store: Store, ident: int
@@ -58,17 +93,32 @@ def _worker(sim: Simulator, res: Resource, store: Store, ident: int
         _ = yield store.get()
 
 
-def kernel_microbench() -> Tuple[int, float]:
-    """Run the microbenchmark; returns (kernel events, elapsed seconds)."""
-    sim = Simulator()
-    res = Resource(sim, capacity=4, name="bench.res")
-    store = Store(sim, capacity=None, name="bench.store")
-    for ident in range(N_PROCS):
-        _ = sim.process(_worker(sim, res, store, ident))
-    t0 = time.perf_counter()
-    sim.run()
-    elapsed = time.perf_counter() - t0
-    return sim._seq, elapsed
+def kernel_microbench(scheduler: str = "calendar",
+                      repeats: int = 3) -> Tuple[int, float]:
+    """Run the microbenchmark; returns (kernel events, best-run seconds).
+
+    Best-of-*repeats* damps host-load noise in the throughput figure; the
+    event count is asserted identical across all runs, so every repeat is
+    also a determinism check.
+    """
+    best = float("inf")
+    events = -1
+    for _ in range(repeats):
+        sim = Simulator(scheduler=scheduler)
+        res = Resource(sim, capacity=4, name="bench.res")
+        store = Store(sim, capacity=None, name="bench.store")
+        for ident in range(N_PROCS):
+            _ = sim.process(_worker(sim, res, store, ident))
+        t0 = time.perf_counter()
+        sim.run()
+        elapsed = time.perf_counter() - t0
+        if events >= 0 and sim._seq != events:
+            raise AssertionError(
+                f"kernel event count varied across runs: {sim._seq} != "
+                f"{events}")
+        events = sim._seq
+        best = min(best, elapsed)
+    return events, best
 
 
 def timed_experiments() -> Dict[str, Dict[str, float]]:
@@ -90,54 +140,62 @@ def timed_experiments() -> Dict[str, Dict[str, float]]:
     return out
 
 
-def parallel_runner_bench(jobs: int = 2) -> Dict[str, Any]:
-    """Serial vs parallel wall-clock of a small uncached job subset.
+def parallel_runner_sweep(jobs_sweep: Sequence[int] = JOBS_SWEEP
+                          ) -> Dict[str, Any]:
+    """Wall-clock the warm-pool runner across worker counts, uncached.
 
-    Runs the same tiny plan at ``--jobs 1`` and ``--jobs N`` with the
-    cache disabled and records both wall-clocks plus the speedup.  The
-    report text is asserted byte-identical — a speedup that changes the
-    output would be a determinism bug, not a win.  Speedup is advisory
-    (it tracks the host's core count; a 1-core CI box reports ~1x or
-    below), so ``--check`` never gates on it.
+    Runs the same small plan once per entry of *jobs_sweep* (``1`` is the
+    serial reference) and records wall-clock, speedup versus serial, and
+    the warm-pool build time for each parallel entry.  Every report text
+    is asserted byte-identical to the serial one — a speedup that changes
+    the output would be a determinism bug, not a win.
     """
     from repro.bench.jobs import build_plan, execute_plan, render_report
+    from repro.bench.pool import last_warmup_seconds
 
-    plan = build_plan("tiny", only={"fig4b", "ablation_fc", "ablation_ooo"})
+    plan = build_plan("tiny", only=RUNNER_SUBSET)
     n_jobs = sum(len(stage.jobs) for stage in plan)
-    t0 = time.perf_counter()
-    serial_results, _ = execute_plan(plan, jobs=1)
-    serial_s = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    parallel_results, _ = execute_plan(plan, jobs=jobs)
-    parallel_s = time.perf_counter() - t0
-    serial_text, _ = render_report(serial_results)
-    parallel_text, _ = render_report(parallel_results)
-    if serial_text != parallel_text:
-        raise AssertionError(
-            "parallel report text diverged from the serial run")
-    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
-    print(f"  {n_jobs} jobs: serial {serial_s:.2f}s, "
-          f"--jobs {jobs} {parallel_s:.2f}s ({speedup:.2f}x, "
-          f"report byte-identical)")
-    return {
-        "jobs": jobs,
-        "n_jobs": n_jobs,
-        "serial_seconds": round(serial_s, 3),
-        "parallel_seconds": round(parallel_s, 3),
-        "speedup": round(speedup, 3),
-    }
+    sweep = []
+    serial_s: Optional[float] = None
+    serial_text: Optional[str] = None
+    for jobs in jobs_sweep:
+        t0 = time.perf_counter()
+        results, _ = execute_plan(plan, jobs=jobs)
+        elapsed = time.perf_counter() - t0
+        text, _ = render_report(results)
+        if jobs == 1:
+            serial_s, serial_text = elapsed, text
+        elif text != serial_text:
+            raise AssertionError(
+                f"--jobs {jobs} report text diverged from the serial run")
+        speedup = (serial_s / elapsed
+                   if serial_s is not None and elapsed > 0 else 1.0)
+        warmup = last_warmup_seconds() if jobs > 1 else None
+        sweep.append({
+            "jobs": jobs,
+            "seconds": round(elapsed, 3),
+            "speedup": round(speedup, 3),
+            "warmup_seconds": (None if warmup is None
+                               else round(warmup, 3)),
+        })
+        note = "" if warmup is None else f", pool warmup {warmup:.2f}s"
+        print(f"  --jobs {jobs}: {elapsed:.2f}s ({speedup:.2f}x{note}, "
+              f"report byte-identical)")
+    return {"n_jobs": n_jobs, "sweep": sweep}
 
 
-def measure(skip_experiments: bool = False) -> Dict[str, Any]:
+def measure(skip_experiments: bool = False,
+            scheduler: str = "calendar") -> Dict[str, Any]:
     """Full measurement pass; returns the baseline document."""
-    print("kernel microbenchmark "
-          f"({N_PROCS} procs x {N_ITERS} iters) ...")
-    events, elapsed = kernel_microbench()
+    print(f"kernel microbenchmark ({N_PROCS} procs x {N_ITERS} iters, "
+          f"{scheduler} scheduler) ...")
+    events, elapsed = kernel_microbench(scheduler)
     eps = events / elapsed if elapsed > 0 else float("inf")
     print(f"  {events} events in {elapsed:.3f}s = {eps:,.0f} events/sec")
     doc: Dict[str, Any] = {
         "schema": SCHEMA,
         "kernel": {
+            "scheduler": scheduler,
             "n_procs": N_PROCS,
             "n_iters": N_ITERS,
             "events": events,
@@ -148,13 +206,39 @@ def measure(skip_experiments: bool = False) -> Dict[str, Any]:
     if not skip_experiments:
         print("timed experiment subsets ...")
         doc["experiments"] = timed_experiments()
-        print("parallel runner (serial vs --jobs 2, uncached) ...")
-        doc["parallel_runner"] = parallel_runner_bench()
+        print(f"parallel runner sweep (--jobs {list(JOBS_SWEEP)}, "
+              "uncached) ...")
+        doc["parallel_runner"] = parallel_runner_sweep()
     return doc
 
 
+def check_parallel_gate() -> int:
+    """Hard gate: --jobs 4 speedup on capable hosts; skip elsewhere."""
+    cores = usable_cores()
+    if cores < GATE_MIN_CORES:
+        print(f"perf: parallel gate SKIPPED — {cores} usable core(s) < "
+              f"{GATE_MIN_CORES} required for a meaningful "
+              f"{GATE_MIN_SPEEDUP:.1f}x target")
+        return 0
+    result = parallel_runner_sweep(jobs_sweep=(1, GATE_JOBS))
+    speedup = result["sweep"][-1]["speedup"]
+    if speedup < GATE_MIN_SPEEDUP:
+        print(f"perf: parallel gate FAILED — --jobs {GATE_JOBS} speedup "
+              f"{speedup:.2f}x < required {GATE_MIN_SPEEDUP:.1f}x")
+        return 1
+    print(f"perf: parallel gate passed — --jobs {GATE_JOBS} speedup "
+          f"{speedup:.2f}x >= {GATE_MIN_SPEEDUP:.1f}x")
+    return 0
+
+
 def check(tolerance: float) -> int:
-    """Validate the current tree against the committed baseline."""
+    """Validate the current tree against the committed baseline.
+
+    Hard failures (exit 1): kernel event-count divergence; parallel gate
+    miss on a >= GATE_MIN_CORES host.  Stale baseline exits 2.  A
+    throughput regression beyond *tolerance* is advisory (exit 3) — it
+    reports the delta against the committed baseline either way.
+    """
     if not BASELINE_FILE.exists():
         print(f"perf: no baseline at {BASELINE_FILE.name}; "
               "run scripts/perf.py to create one")
@@ -163,24 +247,33 @@ def check(tolerance: float) -> int:
     base_kernel = baseline.get("kernel", {})
     base_eps = base_kernel.get("events_per_sec")
     base_events = base_kernel.get("events")
+    scheduler = base_kernel.get("scheduler", "calendar")
     if (baseline.get("schema") != SCHEMA or not base_eps
             or base_kernel.get("n_procs") != N_PROCS
             or base_kernel.get("n_iters") != N_ITERS):
         print("perf: baseline is stale (schema or workload shape changed); "
               "regenerate with scripts/perf.py")
         return 2
-    events, elapsed = kernel_microbench()
+
+    events, elapsed = kernel_microbench(scheduler)
     eps = events / elapsed if elapsed > 0 else float("inf")
     if events != base_events:
         print(f"perf: DETERMINISM VIOLATION — kernel event count {events} "
               f"!= baseline {base_events}; the simulated workload diverged")
         return 1
-    ratio = base_eps / eps if eps else float("inf")
-    print(f"perf: {eps:,.0f} events/sec vs baseline {base_eps:,.0f} "
-          f"(ratio {ratio:.2f}x, tolerance {tolerance:.1f}x)")
-    if ratio > tolerance:
-        print(f"perf: kernel throughput regressed beyond {tolerance:.1f}x")
-        return 1
+
+    gate = check_parallel_gate()
+    if gate:
+        return gate
+
+    delta_pct = (eps - base_eps) / base_eps * 100.0
+    print(f"perf: {eps:,.0f} events/sec vs committed baseline "
+          f"{base_eps:,.0f} ({delta_pct:+.1f}%, {scheduler} scheduler)")
+    if eps * tolerance < base_eps:
+        print(f"perf: kernel throughput regressed more than "
+              f"{(tolerance - 1) * 100:.0f}% below the baseline "
+              "(advisory — rerun on an idle host before trusting it)")
+        return 3
     return 0
 
 
@@ -189,14 +282,19 @@ def main(argv=None) -> int:
     parser.add_argument("--check", action="store_true",
                         help="validate against the committed baseline")
     parser.add_argument("--tolerance", type=float, default=1.3,
-                        help="slowdown ratio treated as a regression "
-                             "in --check mode (default 1.3)")
+                        help="slowdown ratio treated as an advisory "
+                             "regression in --check mode (default 1.3)")
     parser.add_argument("--no-experiments", action="store_true",
                         help="skip the timed experiment subsets")
+    parser.add_argument("--scheduler", choices=("calendar", "heap"),
+                        default="calendar",
+                        help="kernel scheduler variant to measure "
+                             "(default: calendar)")
     args = parser.parse_args(argv)
     if args.check:
         return check(args.tolerance)
-    doc = measure(skip_experiments=args.no_experiments)
+    doc = measure(skip_experiments=args.no_experiments,
+                  scheduler=args.scheduler)
     BASELINE_FILE.write_text(json.dumps(doc, indent=2) + "\n")
     print(f"wrote {BASELINE_FILE.relative_to(REPO_ROOT)}")
     return 0

@@ -529,6 +529,19 @@ def _collect_mutable_globals(
         for node in Module._walk_same_function(fn):
             if isinstance(node, ast.Global):
                 declared_global.update(node.names)
+        # One-level aliases of module globals (``pool = _EVENT_POOL``):
+        # a mutator call through the alias mutates the global just as
+        # surely as a direct call — the freelist hot loops in
+        # repro.sim.core bind exactly this way for speed.
+        alias_of: Dict[str, str] = {}
+        for node in Module._walk_same_function(fn):
+            if (isinstance(node, ast.Assign)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id in bound
+                    and node.value.id not in local):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        alias_of[target.id] = node.value.id
         for node in Module._walk_same_function(fn):
             name: Optional[str] = None
             if isinstance(node, ast.Call):
@@ -536,14 +549,15 @@ def _collect_mutable_globals(
                 if (isinstance(func, ast.Attribute)
                         and func.attr in _MUTATOR_METHODS
                         and isinstance(func.value, ast.Name)):
-                    name = func.value.id
+                    name = alias_of.get(func.value.id, func.value.id)
             elif isinstance(node, (ast.Assign, ast.AugAssign)):
                 targets = (node.targets if isinstance(node, ast.Assign)
                            else [node.target])
                 for target in targets:
                     if (isinstance(target, ast.Subscript)
                             and isinstance(target.value, ast.Name)):
-                        name = target.value.id
+                        name = alias_of.get(target.value.id,
+                                            target.value.id)
                     elif (isinstance(target, ast.Name)
                             and target.id in declared_global):
                         name = target.id

@@ -27,11 +27,13 @@ _WALLCLOCK_CALLS = frozenset({
 })
 
 #: files allowed to read the wall clock: host-side bench *reporting*,
-#: the parallel job runner (progress timing on stderr), and the perf
+#: the parallel job runner (progress timing on stderr), the warm worker
+#: pool (its warmup timing feeds the perf baseline), and the perf
 #: harness (which times the simulator) — never model code.
 WALLCLOCK_ALLOWED_FILES = (
     "repro/bench/__main__.py",
     "repro/bench/jobs.py",
+    "repro/bench/pool.py",
     "repro/bench/runner.py",
     "scripts/perf.py",
 )

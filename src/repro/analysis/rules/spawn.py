@@ -22,7 +22,25 @@ from typing import Iterator, Set
 from ..engine import Finding, ProgramRule, register_program
 
 __all__ = ["MutableGlobalInJobPath", "FingerprintGap",
-           "FINGERPRINT_ALLOWED_FILES"]
+           "FINGERPRINT_ALLOWED_FILES", "SPAWN_SAFE_GLOBALS"]
+
+#: module globals exempt from SIM008 — spawn-safe by construction.  Each
+#: entry is per-process *scratch* state: nothing read from it ever
+#: encodes a simulation result, so per-worker copies diverging is the
+#: design, not a hazard.  Kept here, not inline, so every exemption is
+#: reviewable in one place (mirrors the file allowlists below/elsewhere).
+#:
+#: * ``repro.sim.core`` freelists: recycled ``Timeout``/``Event`` shells.
+#:   Every field is re-initialized on reuse and the pools are only ever
+#:   an allocation cache — a worker starting empty just allocates.
+#: * ``repro.bench.pool`` warm-pool handle: mutated exclusively in the
+#:   *driving* process; workers import the module only to resolve the
+#:   initializer by name and never touch these globals.
+SPAWN_SAFE_GLOBALS = {
+    "repro.sim.core": frozenset({"_TIMEOUT_POOL", "_EVENT_POOL"}),
+    "repro.bench.pool": frozenset({"_pool", "_pool_workers",
+                                   "_warmup_seconds"}),
+}
 
 #: files allowed to read env vars / files from job-reachable code: the
 #: cache implementation itself (its env var selects *where* the cache
@@ -59,7 +77,8 @@ class MutableGlobalInJobPath(ProgramRule):
         for summary in program.summaries:
             if summary.module not in reachable:
                 continue
-            mutated = set(summary.mutated_globals)
+            allowed = SPAWN_SAFE_GLOBALS.get(summary.module, frozenset())
+            mutated = set(summary.mutated_globals) - allowed
             for name, line in summary.mutable_globals:
                 if name in mutated:
                     yield self.finding_at(

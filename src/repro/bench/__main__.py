@@ -28,6 +28,7 @@ from typing import Optional, Sequence
 from .cache import ResultCache, code_fingerprint, default_cache_dir
 from .jobs import (EXPERIMENTS, build_plan, execute_plan, render_report,
                    results_to_json)
+from .pool import last_warmup_seconds
 
 
 def _positive_int(text: str) -> int:
@@ -95,8 +96,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.json:
         Path(args.json).write_text(
             json.dumps(results_to_json(results, ok), indent=2) + "\n")
+    warmup = last_warmup_seconds()
+    warmup_note = "" if warmup is None else f"; pool warmup {warmup:.1f}s"
     print(f"[{wall:.1f}s wall-clock with --jobs {args.jobs}; "
-          f"{stats.summary()}]", file=sys.stderr)
+          f"{stats.summary()}{warmup_note}]", file=sys.stderr)
     return 0 if ok else 1
 
 

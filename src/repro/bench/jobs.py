@@ -5,10 +5,13 @@ The full reproduction decomposes into a flat list of spawn-safe
 config) cell — grouped into :class:`Stage`\\ s that remember the declared
 order.  Every point builds its own private ``Simulator`` inside the
 worker, so jobs share no state and can execute on any number of
-``ProcessPoolExecutor`` workers; the merge step reassembles per-job rows
-in declared order, which makes the rendered report **byte-identical** to
-the serial run at any worker count (``--jobs 1`` executes in-process in
-declared order, preserving the historical serial behaviour exactly).
+``ProcessPoolExecutor`` workers — since this PR, the *persistent warm*
+pool of :mod:`repro.bench.pool`, fed one round-robin batch per worker
+(:func:`run_batch`) so dispatch/pickle overhead is paid per worker, not
+per job.  The merge step reassembles per-job rows in declared order,
+which makes the rendered report **byte-identical** to the serial run at
+any worker count (``--jobs 1`` executes in-process in declared order,
+preserving the historical serial behaviour exactly).
 
 Payloads crossing the process boundary are plain JSON (rows via
 ``repro.bench.runner``, case-study runs via ``CaseStudyResult.to_json``),
@@ -24,7 +27,7 @@ report text); the simulated workloads themselves stay deterministic.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import as_completed
 from dataclasses import dataclass, field
 from typing import (Any, Callable, Collection, Dict, List, Optional,
                     Sequence, Tuple)
@@ -47,11 +50,12 @@ from .experiments.fig6_fig7 import (case_study_point, fig6_from_results,
                                     fig7_from_results)
 from .experiments.table1 import table1_point
 from .paper import TABLE1
+from .pool import get_pool
 from .runner import ExperimentResult, rows_from_json, rows_to_json
 
 __all__ = ["JobSpec", "Stage", "RunStats", "EXPERIMENTS", "PROFILES",
            "build_plan", "execute_job", "execute_plan", "render_report",
-           "results_to_json"]
+           "results_to_json", "run_batch"]
 
 
 # --------------------------------------------------------------- job specs
@@ -169,6 +173,17 @@ POINT_FUNCTIONS: Dict[str, Callable[..., Any]] = {
 def execute_job(spec: JobSpec) -> Any:
     """Run one job in the current process; the worker entry point."""
     return POINT_FUNCTIONS[spec.fn](**spec.kwargs_dict())
+
+
+def run_batch(specs: Sequence[JobSpec]) -> List[Any]:
+    """Run a batch of jobs in the current worker, in the given order.
+
+    Batching is the dispatch-side half of the warm-pool optimization:
+    one pickle/submit round-trip per *worker* instead of per *job*
+    amortizes executor overhead across the many short point-jobs.
+    Results come back positionally aligned with *specs*.
+    """
+    return [execute_job(spec) for spec in specs]
 
 
 # ------------------------------------------------------------------ stages
@@ -371,11 +386,13 @@ def execute_plan(stages: Sequence[Stage], jobs: int = 1,
     """Run every job of *stages* and merge results in declared order.
 
     ``jobs == 1`` executes in-process, in declared order — the historical
-    serial behaviour.  ``jobs > 1`` fans the cache misses out over a
-    ``ProcessPoolExecutor``; completion order is irrelevant because each
-    payload is merged back at its declared position.  With a *cache*,
-    hits skip simulation entirely and fresh payloads are stored (from
-    this process, atomically) after execution.
+    serial behaviour.  ``jobs > 1`` groups the cache misses into one
+    round-robin batch per worker and fans the batches out over the
+    persistent warm pool (:mod:`repro.bench.pool`); completion order is
+    irrelevant because each payload is merged back at its declared
+    position, so the rendered report is byte-identical at any worker
+    count.  With a *cache*, hits skip simulation entirely and fresh
+    payloads are stored (from this process, atomically) after execution.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -402,13 +419,21 @@ def execute_plan(stages: Sequence[Stage], jobs: int = 1,
             payloads[si, ji] = execute_job(spec)
             echo(f"  {spec.label}: ran in {time.perf_counter() - t0:.1f}s")
     elif pending:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = {pool.submit(execute_job, spec): (si, ji, spec)
-                       for si, ji, spec in pending}
-            t0 = time.perf_counter()
-            for future in as_completed(futures):
-                si, ji, spec = futures[future]
-                payloads[si, ji] = future.result()
+        pool = get_pool(jobs)
+        # Round-robin striping interleaves adjacent (similar-cost) jobs
+        # across batches so the per-worker batches finish at roughly the
+        # same time; a contiguous split would serialize the heavy
+        # case-study stage onto one worker.
+        n_batches = min(jobs, len(pending))
+        batches = [pending[b::n_batches] for b in range(n_batches)]
+        futures = {pool.submit(run_batch,
+                               [spec for _, _, spec in batch]): batch
+                   for batch in batches}
+        t0 = time.perf_counter()
+        for future in as_completed(futures):
+            batch = futures[future]
+            for (si, ji, spec), payload in zip(batch, future.result()):
+                payloads[si, ji] = payload
                 echo(f"  {spec.label}: done at "
                      f"+{time.perf_counter() - t0:.1f}s")
     stats.executed = len(pending)

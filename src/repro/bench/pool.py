@@ -1,0 +1,94 @@
+"""Persistent warm worker pool for the parallel experiment runner.
+
+The first parallel runner paid full process startup plus the complete
+``repro.*`` import for every ``execute_plan`` call, which is why 2
+workers *lost* to serial (0.96x) on the 52 short point-jobs: startup
+cost swamped the work.  This module keeps ONE ``ProcessPoolExecutor``
+alive for the life of the driving process, forces its workers to spawn
+up front, and preloads the ``repro.*`` module tree in each worker via
+the pool initializer — so by the time the first real job is dispatched,
+every worker has already sunk its import cost.  The measured warmup
+wall-clock is exposed for the perf harness (``scripts/perf.py`` records
+it in ``BENCH_sim_kernel.json`` schema 2).
+
+Spawn-safety: the pool handle and warmup timing below are module-level
+mutable state, but they are mutated only in the *driving* process —
+worker processes import this module solely to resolve the initializer
+by name and never touch the globals.  SIM008 allowlists them as
+spawn-safe by construction (see ``repro/analysis/rules/spawn.py``).
+
+Wall-clock reads here (``time.perf_counter``) are host-side
+instrumentation only and never flow into report text, hence the SIM004
+allowlist entry in ``repro/analysis/rules/determinism.py``.
+"""
+
+from __future__ import annotations
+
+import atexit
+import time
+from concurrent.futures import ProcessPoolExecutor, wait
+from typing import Optional
+
+__all__ = ["get_pool", "last_warmup_seconds", "shutdown_pool"]
+
+_pool: Optional[ProcessPoolExecutor] = None
+_pool_workers = 0
+_warmup_seconds: Optional[float] = None
+
+
+def _preload_worker() -> bool:
+    """Worker initializer (and warmup task): import the module tree once.
+
+    ``repro.bench.jobs`` transitively pulls in every experiment module,
+    the simulator kernel, and the cache layer, so a worker that has run
+    this function resolves any :data:`~repro.bench.jobs.POINT_FUNCTIONS`
+    entry without further import work.  Imported lazily inside the
+    function body — a module-level import would be circular, since
+    ``jobs`` imports this module for :func:`get_pool`.
+    """
+    import repro.bench.jobs  # noqa: F401  (the import IS the side effect)
+    return True
+
+
+def get_pool(workers: int) -> ProcessPoolExecutor:
+    """The shared warm pool, (re)built only when the worker count changes.
+
+    Repeated calls with the same *workers* return the live executor with
+    zero startup cost — that is the whole point: ``execute_plan`` may be
+    called many times (perf sweeps, tests) and only the first call per
+    worker count pays for process creation and module preloading.
+    """
+    global _pool, _pool_workers, _warmup_seconds
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if _pool is not None and _pool_workers == workers:
+        return _pool
+    shutdown_pool()
+    t0 = time.perf_counter()
+    pool = ProcessPoolExecutor(max_workers=workers,
+                               initializer=_preload_worker)
+    # One task per worker forces every process to spawn *now* (the
+    # executor otherwise creates them lazily per submit), so later job
+    # dispatch never stalls behind a cold start + import.
+    wait([pool.submit(_preload_worker) for _ in range(workers)])
+    _warmup_seconds = time.perf_counter() - t0
+    _pool = pool
+    _pool_workers = workers
+    return pool
+
+
+def last_warmup_seconds() -> Optional[float]:
+    """Wall-clock cost of the most recent pool (re)build; None if never."""
+    return _warmup_seconds
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared pool (atexit, or before a worker-count change)."""
+    global _pool, _pool_workers
+    if _pool is not None:
+        _pool.shutdown(wait=False, cancel_futures=True)
+        _pool = None
+        _pool_workers = 0
+
+
+atexit.register(shutdown_pool)

@@ -3,8 +3,8 @@
 A lean, simpy-style kernel: *processes* are Python generators that ``yield``
 :class:`Event` objects to suspend until the event fires.  The clock is an
 integer count of nanoseconds.  Determinism is guaranteed by a monotonically
-increasing sequence number used as a heap tie-breaker, so two runs of the same
-model always interleave identically.
+increasing sequence number used as a scheduling tie-breaker, so two runs of
+the same model always interleave identically.
 
 Hot-path design (see DESIGN.md §5 for the full invariants)
 ----------------------------------------------------------
@@ -16,12 +16,27 @@ waiting on one event — without changing observable scheduling semantics:
   so the typical resume allocates neither a list nor a closure;
 * :meth:`Process._resume` drives ``gen.send`` / ``gen.throw`` directly
   instead of building a lambda per step;
-* :class:`Timeout` inlines its scheduling and skips ``operator.index``
-  for exact ``int`` delays (the only type the hot paths produce);
-* :meth:`Simulator.run` / :meth:`run_until` hoist the ``trace_hook``
-  check and inline event processing for plain ``Event``/``Timeout``
-  instances; subclasses with processing hooks (``Process``,
-  ``Condition``) still go through the virtual methods.
+* the default scheduler is a **calendar queue**: events scheduled *at the
+  current time* (the dominant class — ``succeed()``, resource grants,
+  finished processes) go into a plain FIFO deque whose append order *is*
+  sequence order, O(1) both ends and no tuple allocation; future events
+  go into per-timestamp buckets (``dict`` keyed by absolute time) with a
+  small int-heap over the distinct pending timestamps as the ordering
+  fallback.  The legacy global binary heap is retained bit-for-bit as
+  ``Simulator(scheduler="heap")`` — the reference implementation the
+  equivalence property tests run against;
+* hot :class:`Timeout`/:class:`Event` instances are interned in
+  module-level **freelists**: the drain loop recycles an event object
+  only when ``sys.getrefcount`` proves the kernel holds the last
+  reference, so user code that keeps an event alive (``t = sim.timeout(…)
+  … t.value``) always keeps its pristine object.  The pools are
+  per-process scratch state: they never influence event ordering or
+  results, which is why they are allowlisted in snacclint's SIM008
+  spawn-safety rule (``repro.analysis.rules.spawn.SPAWN_SAFE_GLOBALS``);
+* :meth:`Simulator.run` / :meth:`run_until` use specialized drain loops
+  (no tracing, no bound) that inline event processing for plain
+  ``Event``/``Timeout`` instances; subclasses with processing hooks
+  (``Process``, ``Condition``) still go through the virtual methods.
 
 Example
 -------
@@ -40,8 +55,11 @@ Example
 from __future__ import annotations
 
 import operator
+from collections import deque
 from heapq import heappop, heappush
-from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+from sys import getrefcount
+from typing import (Any, Callable, Deque, Dict, Generator, Iterable, List,
+                    Optional, Tuple)
 
 from ..errors import SimulationError
 
@@ -56,6 +74,19 @@ __all__ = [
 
 #: Sentinel distinguishing "not yet triggered" from a ``None`` event value.
 _PENDING = object()
+
+#: Freelists for the two hottest allocation sites.  Per-process scratch
+#: state only: pool membership never affects scheduling order or results
+#: (each worker process grows its own pool), so the pools are spawn-safe
+#: by construction and allowlisted in SIM008.  An object enters a pool
+#: only when ``getrefcount`` shows the drain loop holds the last
+#: reference, so no live ``_waiter``/``_value``/user reference can leak
+#: into a recycled event.
+_TIMEOUT_POOL: List["Timeout"] = []
+_EVENT_POOL: List["Event"] = []
+#: upper bound on either pool, so a burst of a million timeouts does not
+#: pin a million dead objects for the rest of the process lifetime.
+_POOL_CAP = 4096
 
 
 class Event:
@@ -109,7 +140,10 @@ class Event:
         self._value = value
         sim = self.sim
         sim._seq += 1
-        heappush(sim._heap, (sim._now, sim._seq, self))
+        if sim._calendar:
+            sim._ready.append(self)
+        else:
+            heappush(sim._heap, (sim._now, sim._seq, self))
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -122,7 +156,10 @@ class Event:
         self._exc = exc
         sim = self.sim
         sim._seq += 1
-        heappush(sim._heap, (sim._now, sim._seq, self))
+        if sim._calendar:
+            sim._ready.append(self)
+        else:
+            heappush(sim._heap, (sim._now, sim._seq, self))
         return self
 
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
@@ -186,9 +223,10 @@ class Timeout(Event):
                     f"(ns_for_bytes / ns_ceil)") from None
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        # Inlined Event.__init__ + Simulator._schedule: one attribute batch
-        # and a direct heap push (this constructor is the hottest allocation
-        # site in the whole simulator).
+        # Inlined Event.__init__ + scheduling: one attribute batch and a
+        # direct scheduler push (this constructor is the hottest allocation
+        # site in the whole simulator; sim.timeout() additionally recycles
+        # instances through the module freelist).
         self.sim = sim
         self._value = _PENDING
         self._exc = None
@@ -198,7 +236,24 @@ class Timeout(Event):
         self.delay = delay
         self._timeout_value = value
         sim._seq += 1
-        heappush(sim._heap, (sim._now + delay, sim._seq, self))
+        if sim._calendar:
+            if delay:
+                when = sim._now + delay
+                buckets = sim._buckets
+                bucket = buckets.get(when)
+                if bucket is None:
+                    # single-event bucket: stored bare, promoted to a list
+                    # only on collision (most timestamps carry one event)
+                    buckets[when] = self
+                    heappush(sim._times, when)
+                elif type(bucket) is list:
+                    bucket.append(self)
+                else:
+                    buckets[when] = [bucket, self]
+            else:
+                sim._ready.append(self)
+        else:
+            heappush(sim._heap, (sim._now + delay, sim._seq, self))
 
     def _before_process(self) -> None:
         if self._value is _PENDING:
@@ -247,7 +302,7 @@ class Process(Event):
         self.name = name or getattr(gen, "__name__", "process")
         # Kick off at the current time (via the bootstrap's waiter slot —
         # _resume sends the event value, None, starting the generator).
-        bootstrap = Event(sim)
+        bootstrap = sim.event()
         bootstrap._waiter = self
         bootstrap.succeed()
 
@@ -342,12 +397,22 @@ class Process(Event):
 
     def _finish(self, value: Any) -> None:
         self._value = value
-        self.sim._schedule(self)
+        sim = self.sim
+        sim._seq += 1
+        if sim._calendar:
+            sim._ready.append(self)
+        else:
+            heappush(sim._heap, (sim._now, sim._seq, self))
 
     def _fail_process(self, exc: BaseException) -> None:
         self._value = exc
         self._exc = exc
-        self.sim._schedule(self)
+        sim = self.sim
+        sim._seq += 1
+        if sim._calendar:
+            sim._ready.append(self)
+        else:
+            heappush(sim._heap, (sim._now, sim._seq, self))
 
     def _process_callbacks(self) -> None:
         # A crash is "handled" when some other process was waiting on us
@@ -401,13 +466,64 @@ class Condition(Event):
             ])
 
 
-class Simulator:
-    """The event loop: clock, heap scheduler, and process factory."""
+def _scheduled_event(sim: "Simulator", value: Any) -> Event:
+    """A freelist-recycled event already succeeded with *value* and scheduled.
 
-    def __init__(self) -> None:
+    Fuses ``sim.event()`` + ``ev.succeed(value)`` into straight-line code
+    for the hottest grant paths (``Store.put``/``get`` hand-offs,
+    ``Resource.acquire`` on free capacity).  Semantically identical to the
+    two-call spelling: the event is delivered through the scheduler at the
+    current time with the next sequence number.
+    """
+    pool = _EVENT_POOL
+    if pool:
+        ev = pool.pop()
+        ev.sim = sim
+        ev._exc = None
+        ev._processed = False
+        # pooled events always have _waiter/_callbacks None already
+    else:
+        ev = Event(sim)
+    ev._value = value
+    sim._seq += 1
+    if sim._calendar:
+        sim._ready.append(ev)
+    else:
+        heappush(sim._heap, (sim._now, sim._seq, ev))
+    return ev
+
+
+class Simulator:
+    """The event loop: clock, calendar-queue scheduler, process factory.
+
+    ``scheduler`` selects the queue implementation:
+
+    ``"calendar"`` (default)
+        ready-deque for at-current-time events + per-timestamp buckets
+        with an int-heap over distinct pending timestamps (DESIGN.md
+        §5.2).  Identical observable order to ``"heap"``.
+    ``"heap"``
+        the original single global binary heap of ``(when, seq, event)``
+        tuples — the reference implementation used by the equivalence
+        property tests and the ``scripts/perf.py --scheduler heap`` A/B.
+    """
+
+    def __init__(self, scheduler: str = "calendar") -> None:
+        if scheduler not in ("calendar", "heap"):
+            raise ValueError(
+                f"scheduler must be 'calendar' or 'heap', got {scheduler!r}")
+        self.scheduler = scheduler
+        self._calendar = scheduler == "calendar"
         self._now: int = 0
-        self._heap: List[Tuple[int, int, Event]] = []
         self._seq: int = 0
+        #: calendar variant: events scheduled at the current time, FIFO.
+        self._ready: Deque[Event] = deque()
+        #: calendar variant: absolute future time -> events in seq order.
+        self._buckets: Dict[int, List[Event]] = {}
+        #: calendar variant: min-heap of the distinct keys of _buckets.
+        self._times: List[int] = []
+        #: heap variant: the legacy (when, seq, event) binary heap.
+        self._heap: List[Tuple[int, int, Event]] = []
         self._crashed: List[Tuple[Process, BaseException]] = []
         #: hook invoked as ``trace(time, event)`` for every processed event
         self.trace_hook: Optional[Callable[[int, Event], None]] = None
@@ -419,12 +535,58 @@ class Simulator:
 
     # -- factories ----------------------------------------------------------
     def event(self) -> Event:
-        """A fresh, untriggered event."""
+        """A fresh, untriggered event (recycled through the freelist)."""
+        pool = _EVENT_POOL
+        if pool:
+            ev = pool.pop()
+            ev.sim = self
+            ev._value = _PENDING
+            ev._exc = None
+            ev._processed = False
+            # invariant: pooled events always have _waiter/_callbacks None
+            return ev
         return Event(self)
 
     def timeout(self, delay: int, value: Any = None) -> Timeout:
-        """An event firing *delay* ns from now."""
-        return Timeout(self, delay, value)
+        """An event firing *delay* ns from now (recycled via the freelist)."""
+        pool = _TIMEOUT_POOL
+        if not pool:
+            return Timeout(self, delay, value)
+        if type(delay) is not int:
+            try:
+                delay = operator.index(delay)
+            except TypeError:
+                raise TypeError(
+                    f"timeout delay must be an integer ns count, got "
+                    f"{delay!r}; apply the round-up policy from repro.units "
+                    f"(ns_for_bytes / ns_ceil)") from None
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        t = pool.pop()
+        t.sim = self
+        t._value = _PENDING
+        t._exc = None
+        t._processed = False
+        t.delay = delay
+        t._timeout_value = value
+        self._seq += 1
+        if self._calendar:
+            if delay:
+                when = self._now + delay
+                buckets = self._buckets
+                bucket = buckets.get(when)
+                if bucket is None:
+                    buckets[when] = t
+                    heappush(self._times, when)
+                elif type(bucket) is list:
+                    bucket.append(t)
+                else:
+                    buckets[when] = [bucket, t]
+            else:
+                self._ready.append(t)
+        else:
+            heappush(self._heap, (self._now + delay, self._seq, t))
+        return t
 
     def process(self, gen: Generator, name: str = "") -> Process:
         """Register *gen* as a process starting at the current time."""
@@ -440,47 +602,58 @@ class Simulator:
 
     # -- scheduling ---------------------------------------------------------
     def _schedule(self, event: Event, delay: int = 0) -> None:
+        self._seq += 1
         if delay:
             if type(delay) is not int:
                 delay = operator.index(delay)
             when = self._now + delay
+            if self._calendar:
+                buckets = self._buckets
+                bucket = buckets.get(when)
+                if bucket is None:
+                    buckets[when] = event
+                    heappush(self._times, when)
+                elif type(bucket) is list:
+                    bucket.append(event)
+                else:
+                    buckets[when] = [bucket, event]
+            else:
+                heappush(self._heap, (when, self._seq, event))
+        elif self._calendar:
+            self._ready.append(event)
         else:
-            when = self._now
-        self._seq += 1
-        heappush(self._heap, (when, self._seq, event))
+            heappush(self._heap, (self._now, self._seq, event))
 
-    def _process_event(self, event: Event) -> None:
-        """Process one popped event; inlines the common leaf-event types.
-
-        ``Event`` and ``Timeout`` are processed without the two virtual
-        calls; subclasses with hooks (``Process`` crash bookkeeping,
-        future overrides) dispatch normally.
-        """
-        cls = event.__class__
-        if cls is Timeout or cls is Event:
-            if event._value is _PENDING:
-                # only a pending Timeout can reach the heap untriggered
-                event._value = event._timeout_value  # type: ignore[attr-defined]
-            event._processed = True
-            waiter = event._waiter
-            if waiter is not None:
-                event._waiter = None
-                waiter._resume(event)
-            callbacks = event._callbacks
-            if callbacks is not None:
-                event._callbacks = None
-                for fn in callbacks:
-                    fn(event)
-        else:
-            event._before_process()
-            event._process_callbacks()
+    def _next_when(self) -> Optional[int]:
+        """Timestamp of the next scheduled event, or None when drained."""
+        if self._calendar:
+            if self._ready:
+                return self._now
+            if self._times:
+                return self._times[0]
+            return None
+        heap = self._heap
+        return heap[0][0] if heap else None
 
     def step(self) -> None:
         """Process the next scheduled event."""
-        when, _seq, event = heappop(self._heap)
-        if when < self._now:
-            raise SimulationError("time went backwards")  # pragma: no cover
-        self._now = when
+        if self._calendar:
+            ready = self._ready
+            if not ready:
+                when = heappop(self._times)
+                self._now = when
+                bucket = self._buckets.pop(when)
+                if type(bucket) is list:
+                    ready.extend(bucket)
+                else:
+                    ready.append(bucket)
+            event = ready.popleft()
+            when = self._now
+        else:
+            when, _seq, event = heappop(self._heap)
+            if when < self._now:
+                raise SimulationError("time went backwards")  # pragma: no cover
+            self._now = when
         if self.trace_hook is not None:
             self.trace_hook(when, event)
         event._before_process()
@@ -492,33 +665,94 @@ class Simulator:
             f"process {proc.name!r} crashed at t={self._now}") from exc
 
     def run(self, until: Optional[int] = None) -> None:
-        """Run until the heap drains, or until time *until* (ns) is reached.
+        """Run until the queue drains, or until time *until* (ns) is reached.
 
         On return the clock reads ``max(now, until)`` whether the loop
-        drained the heap or stopped in front of a future event — ``until``
+        drained the queue or stopped in front of a future event — ``until``
         in the past never moves the clock backwards.  An event scheduled
         exactly at *until* is still processed.  Raises the first exception
         that escaped a process, if any.
         """
-        heap = self._heap
         crashed = self._crashed
         if until is not None or self.trace_hook is not None:
-            process_event = self._process_event
-            while heap:
-                if until is not None and heap[0][0] > until:
+            # Generic bounded/traced loop, shared by both scheduler
+            # variants (not the hot path — the specialized drains below
+            # are).
+            while True:
+                when = self._next_when()
+                if when is None or (until is not None and when > until):
                     break
-                if self.trace_hook is not None:
-                    self.step()
-                else:
-                    when, _seq, event = heappop(heap)
-                    self._now = when
-                    process_event(event)
+                self.step()
                 if crashed:
                     self._raise_crash()
+        elif self._calendar:
+            # Specialized calendar drain: no bound, no tracing — leaf
+            # Event/Timeout processing is inlined and dead leaf events are
+            # recycled into the freelists (this loop is the single hottest
+            # code in the simulator).
+            ready = self._ready
+            times = self._times
+            popleft = ready.popleft
+            extend = ready.extend
+            pop_bucket = self._buckets.pop
+            tpool = _TIMEOUT_POOL
+            epool = _EVENT_POOL
+            while True:
+                if ready:
+                    event = popleft()
+                elif times:
+                    when = heappop(times)
+                    self._now = when
+                    # single-event buckets are stored bare; rebinding
+                    # through `event` keeps the refcount at 2 so the
+                    # freelist recycle below still fires for them
+                    event = pop_bucket(when)
+                    if type(event) is list:
+                        extend(event)
+                        event = popleft()
+                else:
+                    break
+                cls = event.__class__
+                if cls is Timeout or cls is Event:
+                    if event._value is _PENDING:
+                        # only a pending Timeout reaches the queue untriggered
+                        event._value = event._timeout_value  # type: ignore[attr-defined]
+                    event._processed = True
+                    waiter = event._waiter
+                    if waiter is not None:
+                        event._waiter = None
+                        waiter._resume(event)
+                    callbacks = event._callbacks
+                    if callbacks is not None:
+                        event._callbacks = None
+                        for fn in callbacks:
+                            fn(event)
+                    # Freelist recycle: refcount 2 == the loop local plus
+                    # getrefcount's own argument, i.e. nobody else holds
+                    # the event — safe to intern (waiter/callbacks are
+                    # already None on this path).
+                    if getrefcount(event) == 2:
+                        event.sim = None  # type: ignore[assignment]
+                        event._value = None
+                        event._exc = None
+                        if cls is Timeout:
+                            event._timeout_value = None  # type: ignore[attr-defined]
+                            if len(tpool) < _POOL_CAP:
+                                tpool.append(event)  # type: ignore[arg-type]
+                        elif len(epool) < _POOL_CAP:
+                            epool.append(event)
+                else:
+                    # Only Process._process_callbacks can append to
+                    # _crashed, and Process events take this branch — the
+                    # leaf path above cannot grow the crash list.
+                    event._before_process()
+                    event._process_callbacks()
+                    if crashed:
+                        self._raise_crash()
         else:
-            # Specialized drain loop: no bound, no tracing — event
-            # processing for the two leaf classes is inlined (this loop is
-            # the single hottest code in the simulator).
+            # Specialized legacy-heap drain, kept verbatim so the
+            # ``heap`` variant stays a faithful perf/ordering reference.
+            heap = self._heap
             while heap:
                 when, _seq, event = heappop(heap)
                 self._now = when
@@ -541,40 +775,57 @@ class Simulator:
                     event._process_callbacks()
                 if crashed:
                     self._raise_crash()
-        # Single clock-advance policy for both exit paths (drained heap and
+        # Single clock-advance policy for both exit paths (drained queue and
         # break-before-future-event): advance to `until`, never backwards.
         if until is not None and until > self._now:
             self._now = until
 
     def run_until(self, event: Event, until: Optional[int] = None) -> None:
-        """Run until *event* triggers (or the heap drains / time *until*).
+        """Run until *event* triggers (or the queue drains / time *until*).
 
         Unlike :meth:`run`, this stops as soon as the event fires even while
         perpetual background processes (pollers, device engines) keep the
-        heap populated.
+        queue populated.
         """
-        heap = self._heap
         crashed = self._crashed
-        if until is not None or self.trace_hook is not None:
-            process_event = self._process_event
-            while heap and event._value is _PENDING:
-                if until is not None and heap[0][0] > until:
+        if until is not None or self.trace_hook is not None \
+                or not self._calendar:
+            # Generic bounded/traced loop (also the heap variant's path).
+            while event._value is _PENDING:
+                when = self._next_when()
+                if when is None:
+                    return
+                if until is not None and when > until:
                     if until > self._now:
                         self._now = until
                     return
-                if self.trace_hook is not None:
-                    self.step()
-                else:
-                    when, _seq, popped = heappop(heap)
-                    self._now = when
-                    process_event(popped)
+                self.step()
                 if crashed:
                     self._raise_crash()
             return
-        # Specialized loop mirroring run()'s drain loop (see comment there).
-        while heap and event._value is _PENDING:
-            when, _seq, popped = heappop(heap)
-            self._now = when
+        # Specialized calendar loop mirroring run()'s drain (see comments
+        # there; recycling included).
+        ready = self._ready
+        times = self._times
+        popleft = ready.popleft
+        extend = ready.extend
+        pop_bucket = self._buckets.pop
+        tpool = _TIMEOUT_POOL
+        epool = _EVENT_POOL
+        while event._value is _PENDING:
+            if ready:
+                popped = popleft()
+            elif times:
+                when = heappop(times)
+                self._now = when
+                # bare single-event bucket: rebind through `popped` so the
+                # freelist recycle's refcount test still sees count 2
+                popped = pop_bucket(when)
+                if type(popped) is list:
+                    extend(popped)
+                    popped = popleft()
+            else:
+                break
             cls = popped.__class__
             if cls is Timeout or cls is Event:
                 if popped._value is _PENDING:
@@ -589,11 +840,22 @@ class Simulator:
                     popped._callbacks = None
                     for fn in callbacks:
                         fn(popped)
+                if getrefcount(popped) == 2:
+                    popped.sim = None  # type: ignore[assignment]
+                    popped._value = None
+                    popped._exc = None
+                    if cls is Timeout:
+                        popped._timeout_value = None  # type: ignore[attr-defined]
+                        if len(tpool) < _POOL_CAP:
+                            tpool.append(popped)  # type: ignore[arg-type]
+                    elif len(epool) < _POOL_CAP:
+                        epool.append(popped)
             else:
+                # see run(): only this branch can grow the crash list
                 popped._before_process()
                 popped._process_callbacks()
-            if crashed:
-                self._raise_crash()
+                if crashed:
+                    self._raise_crash()
 
     def run_process(self, gen: Generator, until: Optional[int] = None) -> Any:
         """Convenience: run *gen* as a process to completion, return its value.

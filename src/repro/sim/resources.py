@@ -13,10 +13,8 @@ import math
 from collections import deque
 from typing import Any, Deque, Iterator, Optional, Tuple
 
-from heapq import heappush
-
 from ..errors import SimulationError
-from .core import Event, Simulator
+from .core import Event, Simulator, _scheduled_event
 
 __all__ = ["Store", "Resource", "TokenBucket"]
 
@@ -64,17 +62,15 @@ class Store:
 
     def put(self, item: Any) -> Event:
         """Event that fires once *item* has been accepted into the store."""
-        ev = Event(self.sim)
         if self._getters and not self._items:
             # Hand the item straight to the oldest waiting getter.
-            getter = self._getters.popleft()
-            getter.succeed(item)
-            ev.succeed()
-        elif not self.is_full:
+            self._getters.popleft().succeed(item)
+            return _scheduled_event(self.sim, None)
+        if not self.is_full:
             self._items.append(item)
-            ev.succeed()
-        else:
-            self._putters.append((ev, item))
+            return _scheduled_event(self.sim, None)
+        ev = self.sim.event()
+        self._putters.append((ev, item))
         return ev
 
     def try_put(self, item: Any) -> bool:
@@ -89,12 +85,12 @@ class Store:
 
     def get(self) -> Event:
         """Event that fires with the oldest item once one is available."""
-        ev = Event(self.sim)
         if self._items:
-            ev.succeed(self._items.popleft())
+            ev = _scheduled_event(self.sim, self._items.popleft())
             self._admit_putter()
-        else:
-            self._getters.append(ev)
+            return ev
+        ev = self.sim.event()
+        self._getters.append(ev)
         return ev
 
     def try_get(self) -> Tuple[bool, Any]:
@@ -162,14 +158,11 @@ class Resource:
         the deterministic interleaving (DESIGN.md §5).
         """
         sim = self.sim
-        ev = Event(sim)
         if self._in_use < self.capacity:
             self._in_use += 1
-            # inlined ev.succeed() — this is the hottest grant path
-            ev._value = None
-            sim._seq += 1
-            heappush(sim._heap, (sim._now, sim._seq, ev))
-            return ev
+            # fused alloc+succeed+schedule — the hottest grant path
+            return _scheduled_event(sim, None)
+        ev = sim.event()
         self._waiters.append(ev)
         watcher = self._contention
         if watcher is not None:

@@ -5,9 +5,19 @@ _RESULTS = []  # HAZARD SIM008
 # near miss: a module-level table that is only ever *read* is fine
 _PROFILE_TABLE = {"default": 4096}
 
+# aliased mutation: binding the global to a local first (the freelist
+# hot-loop idiom) does not hide the write — the mutator call still
+# lands on the module-level object
+_SCRATCH = []  # HAZARD SIM008
+
 
 def record(row):
     _RESULTS.append(row)
+
+
+def record_via_alias(row):
+    scratch = _SCRATCH
+    scratch.append(row)
 
 
 def lookup(name):

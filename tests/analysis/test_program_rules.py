@@ -228,6 +228,55 @@ class TestSim008SpawnSafety:
         })
         assert rule_ids(findings) == ["SIM008"]
 
+    def test_aliased_mutation_counts(self):
+        # the freelist hot-loop idiom: bind the global to a local, then
+        # mutate through the local — still a write to module state
+        findings = analyze_sources({
+            "jobs.py": self.JOB_ROOT,
+            "shared.py": "POOL = []\n"
+                         "def recycle(obj):\n"
+                         "    pool = POOL\n"
+                         "    pool.append(obj)\n",
+        })
+        assert rule_ids(findings) == ["SIM008"]
+        assert findings[0].line == 1
+
+    def test_spawn_safe_allowlist_exempts_kernel_freelists(self):
+        # repro.sim.core's freelists are declared spawn-safe by
+        # construction in SPAWN_SAFE_GLOBALS; an unlisted global in the
+        # same module is still flagged — the exemption is per-name
+        findings = analyze_sources({
+            "src/repro/bench/jobs.py": "POINT_FUNCTIONS = {}\n"
+                                       "import repro.sim.core\n",
+            "src/repro/sim/core.py": "_EVENT_POOL = []\n"
+                                     "_ROGUE = []\n"
+                                     "def recycle(ev):\n"
+                                     "    pool = _EVENT_POOL\n"
+                                     "    pool.append(ev)\n"
+                                     "def leak(ev):\n"
+                                     "    _ROGUE.append(ev)\n",
+        })
+        assert rule_ids(findings) == ["SIM008"]
+        assert findings[0].line == 2  # _ROGUE, not the allowlisted pool
+
+    def test_spawn_safe_allowlist_covers_warm_pool_state(self):
+        # the warm worker pool's driver-side handle is exempt; workers
+        # only import the module to resolve the initializer by name
+        findings = analyze_sources({
+            "src/repro/bench/jobs.py": "POINT_FUNCTIONS = {}\n"
+                                       "import repro.bench.pool\n",
+            "src/repro/bench/pool.py": "_pool = None\n"
+                                       "_pool_workers = 0\n"
+                                       "_registry = {}\n"
+                                       "def shutdown_pool():\n"
+                                       "    global _pool, _pool_workers\n"
+                                       "    _registry['last'] = _pool\n"
+                                       "    _pool = None\n"
+                                       "    _pool_workers = 0\n",
+        })
+        assert rule_ids(findings) == ["SIM008"]
+        assert "_registry" in findings[0].message
+
 
 class TestSim009FingerprintGap:
     def test_env_read_in_job_path(self):

@@ -1,0 +1,95 @@
+"""Warm worker pool + job batching tests.
+
+Pins the contract of ``repro.bench.pool`` (one persistent executor,
+rebuilt only on worker-count changes, warmup time recorded) and the
+batching dispatch in ``execute_plan``: the rendered report must stay
+byte-identical at any ``--jobs`` count, and cache semantics must be
+unchanged by batching.
+"""
+
+import pytest
+
+from repro.bench import pool as pool_mod
+from repro.bench.cache import ResultCache
+from repro.bench.jobs import (build_plan, execute_job, execute_plan,
+                              render_report, run_batch)
+
+TINY_SUBSET = {"table1", "ablation_ooo", "ablation_fc"}
+
+
+def _tiny_plan():
+    return build_plan("tiny", only=TINY_SUBSET)
+
+
+class TestWarmPool:
+    def test_same_worker_count_reuses_the_executor(self):
+        a = pool_mod.get_pool(2)
+        b = pool_mod.get_pool(2)
+        assert a is b
+
+    def test_worker_count_change_rebuilds(self):
+        a = pool_mod.get_pool(2)
+        b = pool_mod.get_pool(3)
+        assert b is not a
+        assert pool_mod.get_pool(3) is b
+
+    def test_warmup_time_is_recorded(self):
+        pool_mod.shutdown_pool()
+        assert pool_mod.get_pool(2) is not None
+        warmup = pool_mod.last_warmup_seconds()
+        assert warmup is not None and warmup >= 0.0
+
+    def test_shutdown_then_get_builds_fresh(self):
+        a = pool_mod.get_pool(2)
+        pool_mod.shutdown_pool()
+        b = pool_mod.get_pool(2)
+        assert b is not a
+
+    def test_rejects_nonpositive_worker_count(self):
+        with pytest.raises(ValueError, match="workers"):
+            pool_mod.get_pool(0)
+
+
+class TestRunBatch:
+    def test_results_align_positionally(self):
+        specs = [spec for stage in _tiny_plan() for spec in stage.jobs]
+        batch = run_batch(specs)
+        assert batch == [execute_job(spec) for spec in specs]
+
+    def test_empty_batch(self):
+        assert run_batch([]) == []
+
+
+class TestBatchedExecution:
+    def test_report_byte_identical_at_jobs_1_2_4(self):
+        texts = {}
+        verdicts = {}
+        for jobs in (1, 2, 4):
+            results, stats = execute_plan(_tiny_plan(), jobs=jobs)
+            texts[jobs], verdicts[jobs] = render_report(results)
+            assert stats.executed == sum(
+                len(stage.jobs) for stage in _tiny_plan())
+        assert texts[1] == texts[2] == texts[4]
+        assert verdicts[1] == verdicts[2] == verdicts[4]
+
+    def test_parallel_run_populates_cache_for_serial(self, tmp_path):
+        cache = ResultCache(tmp_path, "fingerprint")
+        plan = _tiny_plan()
+        parallel, stats_parallel = execute_plan(plan, jobs=2, cache=cache)
+        assert stats_parallel.executed > 0
+        cached, stats_cached = execute_plan(plan, jobs=1, cache=cache)
+        assert stats_cached.executed == 0
+        assert stats_cached.hits == stats_parallel.misses
+        assert render_report(cached) == render_report(parallel)
+
+    def test_single_pending_job_runs_in_process(self, tmp_path):
+        # with every job but one cached, the one miss is run inline —
+        # no point waking the pool for a single job
+        cache = ResultCache(tmp_path, "fingerprint")
+        almost = _tiny_plan()
+        almost[0].jobs.pop(0)
+        execute_plan(almost, jobs=1, cache=cache)
+        results, stats = execute_plan(_tiny_plan(), jobs=4, cache=cache)
+        assert stats.executed == 1
+        text, _ = render_report(results)
+        assert text == render_report(execute_plan(_tiny_plan(), jobs=1)[0])[0]
