@@ -72,6 +72,29 @@ print(f"--jobs 2 byte-identical to serial across {n_jobs} jobs "
       f"in {len(plan)} stages")
 EOF
 
+echo "== fleet smoke (2 nodes, fixed seed, exact stats) =="
+python - <<'EOF' || status=1
+from repro.fleet import FleetConfig, FleetWorkload, run_fleet
+
+result = run_fleet(FleetConfig(n_nodes=2),
+                   FleetWorkload(n_objects=128, n_requests=160,
+                                 mean_interarrival_ns=4000))
+# Exact-stat pins: any drift here is a determinism break in the fleet
+# stack (workload RNG, placement, switch fabric, or node model).
+assert result.completed == 160, result.completed
+assert result.total_bytes == 8334441, result.total_bytes
+assert result.elapsed_ns == 779700, result.elapsed_ns
+assert result.per_node_requests == {"n0": 94, "n1": 66}, \
+    result.per_node_requests
+assert result.spilled == 16, result.spilled
+assert result.dropped_frames == 0, result.dropped_frames
+# Conservation: every frame entering the fabric left it.
+assert result.frames_in == result.frames_out + result.frames_in_flight, \
+    (result.frames_in, result.frames_out, result.frames_in_flight)
+print(f"2-node fleet: {result.completed} streams, "
+      f"{result.agg_gbps:.2f} GB/s, exact stats stable")
+EOF
+
 echo "== perf gate (scripts/perf.py --check) =="
 if [ -f BENCH_sim_kernel.json ]; then
     # Exit 1 is a hard gate (event-count determinism, parallel speedup on

@@ -46,6 +46,9 @@ from .experiments.ablations import (ABLATION_TITLES, BURST_SIZES,
 from .experiments.fault_tolerance import (DEFAULT_FAULT_RATES,
                                           ablation_fault_rate_point)
 from .experiments.fig4 import SYSTEMS, fig4a_point, fig4b_point, fig4c_point
+from .experiments.fleet import (FLEET_NODE_COUNTS, FLEET_SCALE_SKEW,
+                                FLEET_SKEW_NODES, FLEET_SKEWS, FLEET_TITLE,
+                                fleet_incast_point, fleet_scale_point)
 from .experiments.fig6_fig7 import (case_study_point, fig6_from_results,
                                     fig7_from_results)
 from .experiments.table1 import table1_point
@@ -152,6 +155,16 @@ def _run_ablation_faults_point(rate: float, rand_bytes: int,
         ablation_fault_rate_point(rate, rand_bytes, seq_bytes))
 
 
+def _run_fleet_scale_point(n_nodes: int, zipf_skew: float, n_requests: int,
+                           n_objects: int, mean_interarrival_ns: int) -> Any:
+    return rows_to_json(fleet_scale_point(
+        n_nodes, zipf_skew, n_requests, n_objects, mean_interarrival_ns))
+
+
+def _run_fleet_incast_point(n_senders: int, put_mib: int) -> Any:
+    return rows_to_json(fleet_incast_point(n_senders, put_mib))
+
+
 POINT_FUNCTIONS: Dict[str, Callable[..., Any]] = {
     "table1_point": _run_table1_point,
     "fig4a_point": _run_fig4a_point,
@@ -167,6 +180,8 @@ POINT_FUNCTIONS: Dict[str, Callable[..., Any]] = {
     "ablation_fc_point": _run_ablation_fc_point,
     "ablation_bufsize_point": _run_ablation_bufsize_point,
     "ablation_faults_point": _run_ablation_faults_point,
+    "fleet_scale_point": _run_fleet_scale_point,
+    "fleet_incast_point": _run_fleet_incast_point,
 }
 
 
@@ -233,27 +248,37 @@ PROFILES: Dict[str, Dict[str, int]] = {
                  multi_ssd_bytes=128 * MiB, hbm_bytes=96 * MiB,
                  burst_bytes=128 * MiB, fc_frames=400,
                  bufsize_bytes=128 * MiB, fault_rand_bytes=8 * MiB,
-                 fault_seq_bytes=32 * MiB),
+                 fault_seq_bytes=32 * MiB, fleet_requests=4000,
+                 fleet_objects=2048, fleet_scale_gap_ns=2000,
+                 fleet_skew_gap_ns=4000, fleet_incast_senders=8,
+                 fleet_incast_mib=4),
     "quick": dict(seq_bytes=128 * MiB, rand_bytes=16 * MiB,
                   fig4c_samples=150, images=24, warmup_images=4,
                   qd_bytes=24 * MiB, ooo_bytes=24 * MiB,
                   gen5_bytes=256 * MiB, multi_ssd_bytes=128 * MiB,
                   hbm_bytes=96 * MiB, burst_bytes=128 * MiB, fc_frames=400,
                   bufsize_bytes=128 * MiB, fault_rand_bytes=8 * MiB,
-                  fault_seq_bytes=32 * MiB),
+                  fault_seq_bytes=32 * MiB, fleet_requests=1500,
+                  fleet_objects=1024, fleet_scale_gap_ns=2000,
+                  fleet_skew_gap_ns=4000, fleet_incast_senders=6,
+                  fleet_incast_mib=2),
     "tiny": dict(seq_bytes=2 * MiB, rand_bytes=1 * MiB, fig4c_samples=20,
                  images=6, warmup_images=1, qd_bytes=1 * MiB,
                  ooo_bytes=1 * MiB, gen5_bytes=2 * MiB,
                  multi_ssd_bytes=2 * MiB, hbm_bytes=2 * MiB,
                  burst_bytes=2 * MiB, fc_frames=60, bufsize_bytes=2 * MiB,
-                 fault_rand_bytes=1 * MiB, fault_seq_bytes=2 * MiB),
+                 fault_rand_bytes=1 * MiB, fault_seq_bytes=2 * MiB,
+                 fleet_requests=160, fleet_objects=128,
+                 fleet_scale_gap_ns=4000, fleet_skew_gap_ns=6000,
+                 fleet_incast_senders=3, fleet_incast_mib=1),
 }
 
 #: stage ids in declared (report) order; the vocabulary of ``--only``.
 EXPERIMENTS: Tuple[str, ...] = (
     "table1", "fig4a", "fig4b", "fig4c", "case_study", "ablation_qd",
     "ablation_ooo", "ablation_gen5", "ablation_multi_ssd", "ablation_hbm",
-    "ablation_burst", "ablation_fc", "ablation_bufsize", "ablation_faults")
+    "ablation_burst", "ablation_fc", "ablation_bufsize", "ablation_faults",
+    "fleet")
 
 
 def build_plan(profile: str = "full",
@@ -359,6 +384,23 @@ def build_plan(profile: str = "full",
                   "ablation_faults",
                   "delivered read bandwidth + recovery vs injected "
                   "fault rate")),
+        Stage("fleet", "fleet",
+              [_job("fleet", f"scale/{n}n", "fleet_scale_point",
+                    n_nodes=n, zipf_skew=FLEET_SCALE_SKEW,
+                    n_requests=sizes["fleet_requests"],
+                    n_objects=sizes["fleet_objects"],
+                    mean_interarrival_ns=sizes["fleet_scale_gap_ns"])
+               for n in FLEET_NODE_COUNTS]
+              + [_job("fleet", f"skew/z{skew:g}", "fleet_scale_point",
+                      n_nodes=FLEET_SKEW_NODES, zipf_skew=skew,
+                      n_requests=sizes["fleet_requests"],
+                      n_objects=sizes["fleet_objects"],
+                      mean_interarrival_ns=sizes["fleet_skew_gap_ns"])
+                 for skew in FLEET_SKEWS]
+              + [_job("fleet", "incast", "fleet_incast_point",
+                      n_senders=sizes["fleet_incast_senders"],
+                      put_mib=sizes["fleet_incast_mib"])],
+              _merge_rows("fleet", FLEET_TITLE)),
     ]
     if only is not None:
         stages = [s for s in stages if s.experiment in only]

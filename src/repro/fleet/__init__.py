@@ -1,0 +1,36 @@
+"""Multi-node fleet simulation: N SNAcc nodes behind a leaf/spine fabric.
+
+The paper evaluates one host + one FPGA + one SSD; this package composes
+the existing protocol stack into a *fleet* — seeded client workloads
+(:mod:`.workload`), consistent-hash sharding with load-aware spill-over
+(:mod:`.placement`), a leaf/spine topology over the N-port
+``repro.net`` switch (:mod:`.topology`), and a calibrated node service
+model (:mod:`.node`).  ``python -m repro.bench --only fleet`` runs the
+experiment family built on top.
+"""
+
+from .node import ClientGateway, FleetNode
+from .placement import ConsistentHashRing, LoadAwarePlacement
+from .topology import (Fleet, FleetConfig, FleetResult, build_fleet,
+                       run_fleet, run_incast)
+from .workload import (FleetWorkload, ObjectCatalog, Request, ZipfSampler,
+                       generate_requests, site_rng)
+
+__all__ = [
+    "ClientGateway",
+    "ConsistentHashRing",
+    "Fleet",
+    "FleetConfig",
+    "FleetResult",
+    "FleetNode",
+    "FleetWorkload",
+    "LoadAwarePlacement",
+    "ObjectCatalog",
+    "Request",
+    "ZipfSampler",
+    "build_fleet",
+    "generate_requests",
+    "run_fleet",
+    "run_incast",
+    "site_rng",
+]

@@ -1,0 +1,114 @@
+"""Stream-to-node sharding: consistent hashing with load-aware spill-over.
+
+Objects map to nodes through a classic consistent-hash ring (each node
+contributes ``vnodes`` virtual points; an object routes to the first
+point clockwise of its hash).  Pure ring placement concentrates a hot
+Zipf head on whichever nodes own the hot objects, so the router also
+tracks per-node *outstanding* work: when the ring-preferred node is
+already loaded past ``spill_threshold``, the stream spills to the next
+distinct node around the ring (cache-friendly: spill order is stable per
+object), and only if *every* node is saturated does it fall back to the
+least-loaded node.
+
+Everything here is deterministic: the ring is a pure function of the
+node names and the placement seed, and routing depends only on the
+(deterministic) sequence of ``route``/``release`` calls the simulation
+makes.
+"""
+
+from __future__ import annotations
+
+import bisect
+import zlib
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from ..errors import ConfigError
+
+__all__ = ["ConsistentHashRing", "LoadAwarePlacement"]
+
+
+class ConsistentHashRing:
+    """Consistent-hash ring over named nodes with virtual points."""
+
+    def __init__(self, node_names: Sequence[str], vnodes: int = 32,
+                 seed: int = 0):
+        if not node_names:
+            raise ConfigError("ring needs at least one node")
+        if len(set(node_names)) != len(node_names):
+            raise ConfigError("duplicate node names on the ring")
+        if vnodes < 1:
+            raise ConfigError("vnodes must be >= 1")
+        self.node_names = list(node_names)
+        points: List[Tuple[int, str]] = []
+        for name in node_names:
+            for v in range(vnodes):
+                points.append(
+                    (zlib.crc32(f"{seed}:{name}:{v}".encode("utf-8")), name))
+        points.sort()
+        self._hashes = [h for h, _ in points]
+        self._owners = [name for _, name in points]
+
+    def _key_hash(self, key: object) -> int:
+        return zlib.crc32(f"key:{key}".encode("utf-8"))
+
+    def chain(self, key: object) -> Iterator[str]:
+        """Distinct nodes in ring order starting at *key*'s successor.
+
+        The first yield is the primary owner; later yields are the
+        stable spill-over order for that key.
+        """
+        start = bisect.bisect_right(self._hashes, self._key_hash(key))
+        seen = set()
+        for i in range(len(self._owners)):
+            name = self._owners[(start + i) % len(self._owners)]
+            if name not in seen:
+                seen.add(name)
+                yield name
+
+    def lookup(self, key: object) -> str:
+        """The primary owner of *key*."""
+        return next(self.chain(key))
+
+
+class LoadAwarePlacement:
+    """Routes streams to nodes; spills off overloaded primaries.
+
+    ``route`` picks a node and counts one outstanding stream against it;
+    the caller must pair it with ``release`` when the stream completes.
+    """
+
+    def __init__(self, ring: ConsistentHashRing, spill_threshold: int = 32):
+        if spill_threshold < 1:
+            raise ConfigError("spill_threshold must be >= 1")
+        self.ring = ring
+        self.spill_threshold = spill_threshold
+        self.outstanding: Dict[str, int] = {n: 0 for n in ring.node_names}
+        #: streams routed somewhere other than their ring primary
+        self.spilled = 0
+        #: streams routed to the global least-loaded fallback
+        self.overflowed = 0
+
+    def route(self, key: object) -> str:
+        """Choose a node for *key* and account one outstanding stream."""
+        first = None
+        for rank, name in enumerate(self.ring.chain(key)):
+            if first is None:
+                first = name
+            if self.outstanding[name] < self.spill_threshold:
+                if rank > 0:
+                    self.spilled += 1
+                self.outstanding[name] += 1
+                return name
+        # every node saturated: least-loaded wins, ties by ring order
+        self.overflowed += 1
+        name = min(self.ring.chain(key), key=lambda n: self.outstanding[n])
+        if name != first:
+            self.spilled += 1
+        self.outstanding[name] += 1
+        return name
+
+    def release(self, name: str) -> None:
+        """Return one outstanding stream slot to *name*."""
+        if self.outstanding[name] <= 0:
+            raise ConfigError(f"release of idle node {name!r}")
+        self.outstanding[name] -= 1

@@ -1,0 +1,175 @@
+"""Seeded fleet traffic model: who asks for what, when, and how big.
+
+Models millions-of-clients object traffic with three orthogonal,
+individually seeded distributions:
+
+* **popularity** — bounded Zipf over the object catalog (``skew`` is the
+  exponent; 0 = uniform, >= ~1.2 = a few scorching-hot objects);
+* **arrivals** — Poisson (exponential inter-arrival) or a two-state
+  Markov-modulated "bursty" variant that multiplies the rate by
+  ``burst_factor`` while in the burst state;
+* **sizes** — heavy-tailed bounded Pareto, assigned per *object* at
+  catalog build so the same object always has the same size.
+
+Determinism contract (mirrors ``repro.faults.plan``): every stream draws
+from a private RNG seeded ``SeedSequence((seed, crc32(site)))``, so the
+k-th draw of a site depends only on ``(seed, site, k)`` — never on how
+other sites interleave, never on worker count.  ``generate_requests`` is
+a pure function of its config: the whole request sequence is computed
+up-front and replayed by the simulation, which makes same-seed runs (and
+``--jobs 1/2/4`` bench runs) byte-identical by construction.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..units import KiB, MiB
+
+__all__ = ["FleetWorkload", "ObjectCatalog", "Request", "ZipfSampler",
+           "generate_requests", "site_rng"]
+
+
+def site_rng(seed: int, site: str) -> np.random.Generator:
+    """Private RNG stream for *site* — the ``repro.faults`` seeding idiom.
+
+    A pure function of ``(seed, site)``: order-independent across sites,
+    identical across processes and worker counts.
+    """
+    key = zlib.crc32(site.encode("utf-8"))
+    return np.random.default_rng(np.random.SeedSequence((seed, key)))
+
+
+@dataclass(frozen=True)
+class FleetWorkload:
+    """One fleet traffic scenario (hashable: reusable as a cache key)."""
+
+    n_objects: int = 512
+    zipf_skew: float = 0.9
+    n_requests: int = 1000
+    #: mean gap between stream arrivals (Poisson intensity 1/mean)
+    mean_interarrival_ns: int = 20_000
+    arrival: str = "poisson"          # 'poisson' | 'bursty'
+    #: bursty mode: rate multiplier while the modulating state is ON
+    burst_factor: float = 8.0
+    #: bursty mode: per-arrival probability of toggling the burst state
+    burst_toggle: float = 0.02
+    #: bounded-Pareto object sizes in [min, max] with tail index alpha
+    min_object_bytes: int = 16 * KiB
+    max_object_bytes: int = 2 * MiB
+    size_alpha: float = 1.3
+    seed: int = 0x5EED
+
+    def __post_init__(self) -> None:
+        if self.n_objects < 1 or self.n_requests < 1:
+            raise ConfigError("n_objects and n_requests must be >= 1")
+        if self.zipf_skew < 0:
+            raise ConfigError("zipf_skew must be >= 0")
+        if self.mean_interarrival_ns < 1:
+            raise ConfigError("mean_interarrival_ns must be >= 1")
+        if self.arrival not in ("poisson", "bursty"):
+            raise ConfigError(f"unknown arrival process {self.arrival!r}")
+        if self.burst_factor < 1 or not 0 < self.burst_toggle < 1:
+            raise ConfigError("burst_factor >= 1 and 0 < burst_toggle < 1")
+        if not 1 <= self.min_object_bytes <= self.max_object_bytes:
+            raise ConfigError("need 1 <= min_object_bytes <= max")
+        if self.size_alpha <= 0:
+            raise ConfigError("size_alpha must be > 0")
+        if self.seed < 0:
+            raise ConfigError("seed must be >= 0")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One client stream: issue time, object asked for, response size."""
+
+    issue_ns: int
+    stream: int
+    object_id: int
+    size_bytes: int
+
+
+class ZipfSampler:
+    """Bounded Zipf over ``n`` ranks via inverse-CDF lookup.
+
+    Unlike ``numpy``'s unbounded ``zipf``, the support is exactly
+    ``[0, n)`` and any skew >= 0 is valid (0 = uniform).  Rank r is drawn
+    with probability proportional to ``1 / (r + 1) ** skew``.
+    """
+
+    def __init__(self, n: int, skew: float, rng: np.random.Generator):
+        weights = 1.0 / np.arange(1, n + 1, dtype=np.float64) ** skew
+        self._cdf = np.cumsum(weights / weights.sum())
+        self._rng = rng
+
+    def sample(self) -> int:
+        """Draw one rank (0 = hottest)."""
+        return int(np.searchsorted(self._cdf, self._rng.random(),
+                                   side="right"))
+
+
+class ObjectCatalog:
+    """Object id -> size, heavy-tailed and fixed at build time.
+
+    Sizes come from a bounded Pareto (inverse-CDF over the ``sizes``
+    site stream), so a handful of objects are orders of magnitude larger
+    than the median — the heavy tail the fleet latency percentiles feel.
+    """
+
+    def __init__(self, workload: FleetWorkload):
+        rng = site_rng(workload.seed, "fleet.sizes")
+        lo = float(workload.min_object_bytes)
+        hi = float(workload.max_object_bytes)
+        alpha = workload.size_alpha
+        u = rng.random(workload.n_objects)
+        if lo == hi:
+            sizes = np.full(workload.n_objects, lo)
+        else:
+            # bounded-Pareto inverse CDF on [lo, hi]
+            sizes = (lo ** -alpha
+                     - u * (lo ** -alpha - hi ** -alpha)) ** (-1.0 / alpha)
+        self.sizes = np.maximum(1, np.rint(sizes)).astype(np.int64)
+
+    def size_of(self, object_id: int) -> int:
+        """Size of *object_id* in bytes."""
+        return int(self.sizes[object_id])
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of all object sizes."""
+        return int(self.sizes.sum())
+
+
+def generate_requests(workload: FleetWorkload) -> List[Request]:
+    """The full request sequence — a pure function of *workload*.
+
+    Streams are numbered in arrival order; issue times are strictly
+    increasing integers (ns).  Three independent site streams feed it:
+    ``fleet.popularity`` (which object), ``fleet.arrivals`` (when), and
+    ``fleet.sizes`` (how big, via :class:`ObjectCatalog`).
+    """
+    catalog = ObjectCatalog(workload)
+    sampler = ZipfSampler(workload.n_objects, workload.zipf_skew,
+                          site_rng(workload.seed, "fleet.popularity"))
+    arrivals = site_rng(workload.seed, "fleet.arrivals")
+    mean = float(workload.mean_interarrival_ns)
+    bursting = False
+    now = 0
+    out: List[Request] = []
+    for stream in range(workload.n_requests):
+        if workload.arrival == "bursty":
+            if arrivals.random() < workload.burst_toggle:
+                bursting = not bursting
+            gap_mean = mean / workload.burst_factor if bursting else mean
+        else:
+            gap_mean = mean
+        now += max(1, round(arrivals.exponential(gap_mean)))
+        object_id = sampler.sample()
+        out.append(Request(issue_ns=now, stream=stream, object_id=object_id,
+                           size_bytes=catalog.size_of(object_id)))
+    return out

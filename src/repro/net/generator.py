@@ -43,6 +43,15 @@ class FrameStreamSource:
         self.meta_fn = meta_fn
         self.sent_bytes = 0
         self.started_ns: Optional[int] = None
+        #: when the final frame finished *serializing* at this MAC.  The
+        #: frame is still on the wire for ``mac.propagation_ns`` after
+        #: this stamp (``EthernetMac.send`` returns at end-of-
+        #: serialization and delivers via a spawned propagation process),
+        #: so source-side throughput over ``finished_ns - started_ns``
+        #: over-reports versus what the receiver observes — a per-stream
+        #: skew of one propagation delay that compounds across thousands
+        #: of fleet streams.  Use :attr:`drained_ns` for receiver-aligned
+        #: accounting.
         self.finished_ns: Optional[int] = None
 
     def run(self):
@@ -60,6 +69,19 @@ class FrameStreamSource:
             offset += take
             self.sent_bytes = offset
         self.finished_ns = self.sim.now
+
+    @property
+    def drained_ns(self) -> Optional[int]:
+        """When the last frame reaches the receiver's MAC (wire drained).
+
+        ``finished_ns`` plus the link's propagation delay: the moment the
+        peer's ``_on_frame`` runs for the final frame (absent fault
+        drops).  Receiver-observed throughput spans must end here, not at
+        ``finished_ns`` — ``tests/net`` pins the two agree.
+        """
+        if self.finished_ns is None:
+            return None
+        return self.finished_ns + self.mac.propagation_ns
 
     def start(self) -> Process:
         """Spawn the transmit loop as a process."""

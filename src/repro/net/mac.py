@@ -217,6 +217,11 @@ class EthernetMac:
         return self._rx_bytes
 
     @property
+    def rx_pending(self) -> int:
+        """Frames currently buffered in the RX FIFO (switch accounting)."""
+        return len(self._rx_frames)
+
+    @property
     def is_paused(self) -> bool:
         """True while the TX side honours an XOFF."""
         return self._tx_paused

@@ -1,55 +1,176 @@
-"""Store-and-forward Ethernet switch with local pause propagation.
+"""Store-and-forward Ethernet switch with hop-by-hop pause propagation.
 
 Paper §4.7: the 802.3 pause "protocol also works with intermediary
 switches, which will first pause locally before propagating the pause
-request further."  The switch forwards frames between two ports through a
-bounded internal buffer; when the egress port is paused and the buffer
-fills past its watermark, the ingress MAC's own flow control pauses the
-upstream sender — the hop-by-hop propagation the paper relies on.
+request further."  Originally a fixed two-port box, the switch is now an
+N-port device so :mod:`repro.fleet` can compose leaf/spine fabrics:
+
+* every port is a full :class:`EthernetMac` — its RX FIFO is the switch
+  ingress buffer for that port, so the MAC's PAUSE machinery *is* the
+  local pause;
+* frames are routed by ``frame.meta["dst"]`` through a static forwarding
+  table (:meth:`EthernetSwitch.add_route`), with an optional default
+  route for "everything else goes up" leaf wiring; the two-port case
+  keeps its historical cross-forwarding without any table;
+* each egress port owns a bounded frame queue.  When it fills, ingress
+  engines block on the ``put``, the ingress MAC's FIFO fills, and that
+  MAC's own PAUSE stops the upstream sender — the hop-by-hop propagation
+  the paper relies on, now across any number of tiers.
+
+Accounting is per port and conserves frames: every data frame that
+entered an RX FIFO is either fully transmitted out of some egress port
+(:attr:`forwarded_out`) or still inside the switch (:meth:`in_flight`) —
+``frames_in == frames_out + in_flight`` at any simulation stop.  (The
+pre-fleet switch kept a single shared counter bumped only after the
+egress transmit returned, so fleet-level bytes-in/bytes-out audits could
+never balance mid-flight.)
 """
 
 from __future__ import annotations
 
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ConfigError, EthernetError
 from ..sim.core import Simulator
+from ..sim.resources import Store
 from ..units import KiB
+from .frame import EthernetFrame
 from .mac import EthernetMac
 
 __all__ = ["EthernetSwitch"]
 
 
 class EthernetSwitch:
-    """Two-port cut-free (store-and-forward) switch."""
+    """N-port store-and-forward switch with per-port egress queues."""
 
-    def __init__(self, sim: Simulator, name: str = "sw",
+    def __init__(self, sim: Simulator, name: str = "sw", n_ports: int = 2,
                  rate_gbps: float = 12.5, buffer_bytes: int = 256 * KiB,
-                 flow_control: bool = True):
+                 flow_control: bool = True, egress_frames: int = 32,
+                 port_rates: Optional[Sequence[float]] = None):
+        if n_ports < 2:
+            raise ConfigError(f"a switch needs >= 2 ports, got {n_ports}")
+        if egress_frames < 1:
+            raise ConfigError("egress_frames must be >= 1")
+        if port_rates is not None and len(port_rates) != n_ports:
+            raise ConfigError(
+                f"port_rates has {len(port_rates)} entries for "
+                f"{n_ports} ports")
         self.sim = sim
         self.name = name
-        # Each port is a full MAC: its RX FIFO is the switch buffer for that
-        # direction, so the MAC's PAUSE machinery *is* the local pause.
-        self.port_a = EthernetMac(sim, name=f"{name}.a", rate_gbps=rate_gbps,
-                                  rx_fifo_bytes=buffer_bytes,
-                                  flow_control=flow_control)
-        self.port_b = EthernetMac(sim, name=f"{name}.b", rate_gbps=rate_gbps,
-                                  rx_fifo_bytes=buffer_bytes,
-                                  flow_control=flow_control)
-        self.forwarded_frames = 0
+        self.n_ports = n_ports
+        #: per-port MACs; ``ports[i]``'s RX FIFO is ingress buffer *i*.
+        #: ``port_rates`` lets a leaf uplink run fatter than node links.
+        self.ports: List[EthernetMac] = [
+            EthernetMac(sim, name=f"{name}.p{i}",
+                        rate_gbps=(port_rates[i] if port_rates is not None
+                                   else rate_gbps),
+                        rx_fifo_bytes=buffer_bytes,
+                        flow_control=flow_control)
+            for i in range(n_ports)]
+        self._egress: List[Store] = [
+            Store(sim, capacity=egress_frames, name=f"{name}.q{i}")
+            for i in range(n_ports)]
+        #: frames fully transmitted out of each port (completed egress)
+        self.forwarded_out: List[int] = [0] * n_ports
+        #: frames popped from an ingress FIFO but not yet queued (the
+        #: forwarding engine holds them while blocked on a full egress)
+        self._holding: List[int] = [0] * n_ports
+        #: frames dequeued for egress but still serializing on the wire
+        self._in_transit: List[int] = [0] * n_ports
+        self._routes: Dict[object, int] = {}
+        self._default_route: Optional[int] = None
         self._started = False
 
+    # ----------------------------------------------------------- back-compat
+    @property
+    def port_a(self) -> EthernetMac:
+        """First port (historical two-port API)."""
+        return self.ports[0]
+
+    @property
+    def port_b(self) -> EthernetMac:
+        """Second port (historical two-port API)."""
+        return self.ports[1]
+
+    @property
+    def forwarded_frames(self) -> int:
+        """Total frames fully forwarded, summed over all egress ports."""
+        return sum(self.forwarded_out)
+
+    # -------------------------------------------------------------- routing
+    def add_route(self, dst: object, port: int) -> None:
+        """Route frames whose ``meta['dst']`` equals *dst* out of *port*."""
+        if not 0 <= port < self.n_ports:
+            raise ConfigError(f"{self.name}: no port {port}")
+        self._routes[dst] = port
+
+    def set_default_route(self, port: int) -> None:
+        """Egress for frames matching no table entry (e.g. a leaf uplink)."""
+        if not 0 <= port < self.n_ports:
+            raise ConfigError(f"{self.name}: no port {port}")
+        self._default_route = port
+
+    def _route_for(self, frame: EthernetFrame, ingress: int) -> int:
+        port = self._routes.get(frame.meta.get("dst"), self._default_route)
+        if port is None:
+            if self.n_ports == 2:
+                return 1 - ingress  # historical cross-forwarding
+            raise EthernetError(
+                f"{self.name}: no route for dst={frame.meta.get('dst')!r} "
+                f"(ingress port {ingress}) and no default route")
+        if port == ingress:
+            raise EthernetError(
+                f"{self.name}: route for dst={frame.meta.get('dst')!r} "
+                f"sends port {ingress} traffic back out its ingress")
+        return port
+
+    # ------------------------------------------------------------ forwarding
     def start(self) -> None:
-        """Launch the two forwarding engines (idempotent)."""
+        """Launch per-port ingress and egress engines (idempotent)."""
         if self._started:
             return
         self._started = True
-        _ = self.sim.process(self._forward(self.port_a, self.port_b),
-                         name=f"{self.name}.a2b")
-        _ = self.sim.process(self._forward(self.port_b, self.port_a),
-                         name=f"{self.name}.b2a")
+        for i in range(self.n_ports):
+            _ = self.sim.process(self._ingress(i), name=f"{self.name}.in{i}")
+            _ = self.sim.process(self._egress_loop(i),
+                                 name=f"{self.name}.out{i}")
 
-    def _forward(self, rx: EthernetMac, tx: EthernetMac):
+    def _ingress(self, i: int):
+        rx = self.ports[i]
         while True:
             frame = yield from rx.recv()
-            # tx.send blocks while the egress is paused; rx's FIFO then
-            # fills and rx's own PAUSE stops the upstream sender.
+            out = self._route_for(frame, i)
+            # A full egress queue blocks here; rx's FIFO then fills and
+            # rx's own PAUSE stops the upstream sender (local pause
+            # first, then hop-by-hop propagation).
+            self._holding[i] += 1
+            yield self._egress[out].put(frame)
+            self._holding[i] -= 1
+
+    def _egress_loop(self, i: int):
+        queue, tx = self._egress[i], self.ports[i]
+        while True:
+            frame = yield queue.get()
+            self._in_transit[i] += 1
+            # tx.send blocks while this egress is paused by its peer.
             yield from tx.send(frame)
-            self.forwarded_frames += 1
+            self._in_transit[i] -= 1
+            self.forwarded_out[i] += 1
+
+    # ------------------------------------------------------------ accounting
+    def in_flight(self) -> int:
+        """Data frames currently inside the switch (FIFOs, engines, queues)."""
+        return (sum(p.rx_pending for p in self.ports)
+                + sum(self._holding)
+                + sum(len(q) for q in self._egress)
+                + sum(self._in_transit))
+
+    def accounting(self) -> Dict[str, int]:
+        """Frame-conservation snapshot: ``in == out + in_flight`` always."""
+        frames_in = sum(p.rx_frames for p in self.ports)
+        return {
+            "frames_in": frames_in,
+            "frames_out": self.forwarded_frames,
+            "in_flight": self.in_flight(),
+            "dropped": sum(p.dropped_frames for p in self.ports),
+        }

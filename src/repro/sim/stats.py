@@ -59,10 +59,14 @@ class Summary:
     stdev: float
     p50: float
     p99: float
+    #: tail percentile the fleet experiments report; with fewer than
+    #: ~1000 samples it interpolates toward the maximum
+    p999: float = 0.0
 
     def __str__(self) -> str:
         return (f"n={self.count} mean={self.mean:.1f} min={self.minimum:.1f} "
-                f"max={self.maximum:.1f} p50={self.p50:.1f} p99={self.p99:.1f}")
+                f"max={self.maximum:.1f} p50={self.p50:.1f} "
+                f"p99={self.p99:.1f} p999={self.p999:.1f}")
 
 
 def _percentile(sorted_vals: List[float], q: float) -> float:
@@ -97,6 +101,7 @@ def summarize(samples: List[float]) -> Summary:
         stdev=math.sqrt(var),
         p50=_percentile(vals, 50),
         p99=_percentile(vals, 99),
+        p999=_percentile(vals, 99.9),
     )
 
 

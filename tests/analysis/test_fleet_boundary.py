@@ -1,0 +1,69 @@
+"""snacclint boundary for the fleet package: no allowlist creep.
+
+The fleet package is model code: it gets *no* wall-clock, spawn-safety,
+or fingerprint exemptions.  These tests pin the boundary so a future
+allowlist addition for ``repro/fleet`` has to change a test (and say
+why), and prove the rules still fire inside fleet modules.
+"""
+
+from pathlib import Path
+
+from repro.analysis import analyze_sources
+from repro.analysis.rules.determinism import WALLCLOCK_ALLOWED_FILES
+from repro.analysis.rules.spawn import (FINGERPRINT_ALLOWED_FILES,
+                                        SPAWN_SAFE_GLOBALS)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestNoFleetAllowlistEntries:
+    def test_no_wallclock_exemption(self):
+        assert not any("fleet" in path for path in WALLCLOCK_ALLOWED_FILES)
+
+    def test_no_spawn_safe_globals(self):
+        assert not any(module.startswith("repro.fleet")
+                       for module in SPAWN_SAFE_GLOBALS)
+
+    def test_no_fingerprint_exemption(self):
+        assert not any("fleet" in path for path in FINGERPRINT_ALLOWED_FILES)
+
+
+class TestRulesFireInsideFleet:
+    """The allowlists are path-keyed: prove a fleet-path module is NOT
+    covered, using the same violation that allowlisted files may carry."""
+
+    def test_wallclock_read_in_fleet_module_is_flagged(self):
+        findings = analyze_sources({
+            "src/repro/fleet/workload.py":
+                "import time\n"
+                "def stamp():\n"
+                "    return time.time()\n",
+        })
+        assert [f.rule_id for f in findings] == ["SIM004"]
+
+    def test_same_read_in_allowlisted_file_is_clean(self):
+        findings = analyze_sources({
+            "src/repro/bench/jobs.py":
+                "import time\n"
+                "def stamp():\n"
+                "    return time.time()\n",
+        })
+        assert findings == []
+
+    def test_unseeded_rng_in_fleet_module_is_flagged(self):
+        findings = analyze_sources({
+            "src/repro/fleet/workload.py":
+                "import numpy as np\n"
+                "def draws():\n"
+                "    return np.random.default_rng()\n",
+        })
+        assert [f.rule_id for f in findings] == ["SIM004"]
+
+
+class TestFleetPackageIsClean:
+    def test_fleet_sources_carry_no_suppressions(self):
+        """The package passes the gate on merit, not via noqa-style
+        suppressions."""
+        for path in sorted((REPO_ROOT / "src" / "repro" / "fleet")
+                           .glob("*.py")):
+            assert "snacclint:" not in path.read_text(), path

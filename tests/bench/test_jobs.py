@@ -6,6 +6,7 @@ from repro.bench.experiments.ablations import ablation_flow_control
 from repro.bench.experiments.fig6_fig7 import (fig6_from_results,
                                                fig7_from_results,
                                                run_case_study_all)
+from repro.bench.experiments.fleet import run_fleet_suite
 from repro.bench.jobs import (EXPERIMENTS, POINT_FUNCTIONS, build_plan,
                               execute_plan, render_report)
 from repro.bench.paper import Band
@@ -53,8 +54,8 @@ class TestPlan:
 
 class TestSerialParallelEquivalence:
     #: small but multi-stage subset: pure-arithmetic, simulation-heavy,
-    #: integer-valued, and fault-injected rows all cross the pool.
-    SUBSET = {"table1", "fig4b", "ablation_fc", "ablation_faults"}
+    #: integer-valued, fault-injected, and fleet rows all cross the pool.
+    SUBSET = {"table1", "fig4b", "ablation_fc", "ablation_faults", "fleet"}
 
     def test_rows_and_text_identical(self):
         plan = build_plan("tiny", only=self.SUBSET)
@@ -86,6 +87,17 @@ class TestMergeFidelity:
         runs = run_case_study_all(n_images=6, warmup_images=1)
         assert fig6.rows == fig6_from_results(runs).rows
         assert fig7.rows == fig7_from_results(runs).rows
+
+    def test_fleet_stage_matches_direct_run(self):
+        plan = build_plan("tiny", only={"fleet"})
+        (merged,), _ = execute_plan(plan, jobs=1)
+        direct = run_fleet_suite(n_requests=160, n_objects=128,
+                                 scale_interarrival_ns=4000,
+                                 skew_interarrival_ns=6000,
+                                 incast_senders=3, incast_mib=1)
+        assert merged.experiment == direct.experiment
+        assert merged.title == direct.title
+        assert merged.rows == direct.rows
 
 
 class TestRenderReport:

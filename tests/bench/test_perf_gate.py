@@ -1,0 +1,120 @@
+"""Perf-harness parallel gate: verdicts, baseline self-consistency.
+
+These tests exist because a committed baseline once recorded a --jobs 4
+speedup of 0.787x while the harness gated >= 2.0x — a contradiction
+that survived because the live gate skipped on the small hosts that ran
+it.  The gate logic is now pure (:func:`parallel_gate_verdict`) and the
+committed baseline is itself validated, on every host.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_spec = importlib.util.spec_from_file_location(
+    "perf_harness", REPO_ROOT / "scripts" / "perf.py")
+perf = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(perf)
+
+
+def doc(host_cores, jobs4_speedup, schema=None):
+    """A structurally valid baseline document with the given sweep."""
+    return {
+        "schema": perf.SCHEMA if schema is None else schema,
+        "kernel": {"scheduler": "calendar", "n_procs": perf.N_PROCS,
+                   "n_iters": perf.N_ITERS, "events": 192128,
+                   "seconds": 0.2, "events_per_sec": 1_000_000},
+        "parallel_runner": {
+            "n_jobs": 59, "host_cores": host_cores,
+            "sweep": [
+                {"jobs": 1, "seconds": 5.0, "speedup": 1.0,
+                 "warmup_seconds": None},
+                {"jobs": perf.GATE_JOBS, "seconds": 5.0 / jobs4_speedup,
+                 "speedup": jobs4_speedup, "warmup_seconds": 0.3},
+            ],
+        },
+    }
+
+
+class TestParallelGateVerdict:
+    def test_sub_threshold_sweep_fails(self):
+        # the exact historical contradiction: 0.787x on a capable host
+        assert perf.parallel_gate_verdict(0.787, 64) is False
+
+    def test_threshold_is_inclusive(self):
+        assert perf.parallel_gate_verdict(perf.GATE_MIN_SPEEDUP,
+                                          perf.GATE_MIN_CORES) is True
+        assert perf.parallel_gate_verdict(perf.GATE_MIN_SPEEDUP - 0.01,
+                                          perf.GATE_MIN_CORES) is False
+
+    def test_small_hosts_are_exempt(self):
+        assert perf.parallel_gate_verdict(0.5, 1) is None
+        assert perf.parallel_gate_verdict(0.5,
+                                          perf.GATE_MIN_CORES - 1) is None
+
+
+class TestBaselineContradiction:
+    def test_gate_failing_sweep_from_capable_host(self):
+        message = perf.baseline_contradiction(doc(64, 0.787))
+        assert message is not None and "0.79x" in message
+
+    def test_small_host_sweep_is_consistent(self):
+        # a 1-core host legitimately records ~1x: gate inapplicable
+        assert perf.baseline_contradiction(doc(1, 0.787)) is None
+
+    def test_passing_sweep_is_consistent(self):
+        assert perf.baseline_contradiction(doc(8, 2.6)) is None
+
+    def test_doc_without_host_cores_is_ignored(self):
+        legacy = doc(8, 0.787)
+        del legacy["parallel_runner"]["host_cores"]
+        assert perf.baseline_contradiction(legacy) is None
+
+    def test_doc_without_sweep_is_ignored(self):
+        assert perf.baseline_contradiction({"schema": perf.SCHEMA}) is None
+
+
+class TestCheckExitCodes:
+    @pytest.fixture
+    def baseline(self, tmp_path, monkeypatch):
+        path = tmp_path / "BENCH_sim_kernel.json"
+        monkeypatch.setattr(perf, "BASELINE_FILE", path)
+        return path
+
+    def test_missing_baseline_exits_2(self, baseline):
+        assert perf.check(tolerance=1.3) == 2
+
+    def test_stale_schema_exits_2(self, baseline):
+        baseline.write_text(json.dumps(doc(8, 2.6, schema=perf.SCHEMA - 1)))
+        assert perf.check(tolerance=1.3) == 2
+
+    def test_self_contradictory_baseline_exits_1_on_any_host(self, baseline):
+        # fires before any timing: judged from the committed file alone,
+        # so even a 1-core CI host rejects the contradictory baseline
+        baseline.write_text(json.dumps(doc(64, 0.787)))
+        assert perf.check(tolerance=1.3) == 1
+
+    def test_measure_refuses_contradictory_baseline(self, baseline,
+                                                    monkeypatch):
+        monkeypatch.setattr(perf, "measure",
+                            lambda **kw: doc(64, 0.787))
+        assert perf.main([]) == 1
+        assert not baseline.exists()
+
+
+class TestCommittedBaseline:
+    """The committed file must satisfy the harness that gates on it —
+    this is the test that would have caught the original 0.787x commit."""
+
+    def test_baseline_is_current_and_self_consistent(self):
+        committed = json.loads(
+            (REPO_ROOT / "BENCH_sim_kernel.json").read_text())
+        assert committed["schema"] == perf.SCHEMA
+        assert committed["kernel"]["n_procs"] == perf.N_PROCS
+        assert committed["kernel"]["n_iters"] == perf.N_ITERS
+        assert "host_cores" in committed["parallel_runner"]
+        assert perf.baseline_contradiction(committed) is None

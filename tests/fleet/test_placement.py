@@ -1,0 +1,87 @@
+"""Consistent-hash placement: ring stability, spill-over, accounting."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fleet import ConsistentHashRing, LoadAwarePlacement
+
+NODES = ["n0", "n1", "n2", "n3"]
+
+
+class TestConsistentHashRing:
+    def test_lookup_deterministic(self):
+        a = ConsistentHashRing(NODES)
+        b = ConsistentHashRing(NODES)
+        assert [a.lookup(k) for k in range(100)] == \
+            [b.lookup(k) for k in range(100)]
+
+    def test_chain_covers_all_nodes_once(self):
+        ring = ConsistentHashRing(NODES)
+        chain = list(ring.chain(42))
+        assert sorted(chain) == sorted(NODES)
+
+    def test_chain_starts_at_primary(self):
+        ring = ConsistentHashRing(NODES)
+        assert next(ring.chain(42)) == ring.lookup(42)
+
+    def test_keys_spread_over_nodes(self):
+        ring = ConsistentHashRing(NODES, vnodes=64)
+        owners = {ring.lookup(k) for k in range(500)}
+        assert owners == set(NODES)
+
+    def test_removing_a_node_only_moves_its_keys(self):
+        full = ConsistentHashRing(NODES)
+        reduced = ConsistentHashRing(NODES[:-1])
+        moved = [k for k in range(500)
+                 if full.lookup(k) != reduced.lookup(k)]
+        assert all(full.lookup(k) == "n3" for k in moved)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ConsistentHashRing([])
+        with pytest.raises(ConfigError):
+            ConsistentHashRing(["a", "a"])
+        with pytest.raises(ConfigError):
+            ConsistentHashRing(["a"], vnodes=0)
+
+
+class TestLoadAwarePlacement:
+    def test_primary_when_unloaded(self):
+        p = LoadAwarePlacement(ConsistentHashRing(NODES), spill_threshold=4)
+        assert p.route(42) == p.ring.lookup(42)
+        assert p.spilled == 0
+
+    def test_spills_off_loaded_primary(self):
+        ring = ConsistentHashRing(NODES)
+        p = LoadAwarePlacement(ring, spill_threshold=2)
+        primary = ring.lookup(42)
+        spill = list(ring.chain(42))[1]
+        assert [p.route(42), p.route(42)] == [primary, primary]
+        assert p.route(42) == spill
+        assert p.spilled == 1 and p.overflowed == 0
+
+    def test_release_reopens_primary(self):
+        p = LoadAwarePlacement(ConsistentHashRing(NODES), spill_threshold=1)
+        primary = p.route(42)
+        p.release(primary)
+        assert p.route(42) == primary
+        assert p.spilled == 0
+
+    def test_overflow_picks_least_loaded(self):
+        ring = ConsistentHashRing(NODES)
+        p = LoadAwarePlacement(ring, spill_threshold=1)
+        chain = list(ring.chain(42))
+        for name in chain:
+            p.outstanding[name] = 3
+        p.outstanding[chain[-1]] = 1  # saturated too, but least loaded
+        assert p.route(42) == chain[-1]
+        assert p.overflowed == 1 and p.spilled == 1
+
+    def test_release_of_idle_node_rejected(self):
+        p = LoadAwarePlacement(ConsistentHashRing(NODES))
+        with pytest.raises(ConfigError):
+            p.release("n0")
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            LoadAwarePlacement(ConsistentHashRing(NODES), spill_threshold=0)

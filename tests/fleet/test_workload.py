@@ -1,0 +1,102 @@
+"""Fleet workload generators: seeded determinism and distribution shape."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fleet import (FleetWorkload, ObjectCatalog, ZipfSampler,
+                         generate_requests, site_rng)
+from repro.units import KiB
+
+
+class TestSiteRng:
+    def test_same_site_same_stream(self):
+        a = site_rng(7, "fleet.arrivals")
+        b = site_rng(7, "fleet.arrivals")
+        assert [a.random() for _ in range(5)] == \
+            [b.random() for _ in range(5)]
+
+    def test_sites_are_independent(self):
+        a = site_rng(7, "fleet.arrivals")
+        b = site_rng(7, "fleet.sizes")
+        assert [a.random() for _ in range(5)] != \
+            [b.random() for _ in range(5)]
+
+    def test_seed_changes_stream(self):
+        assert site_rng(1, "x").random() != site_rng(2, "x").random()
+
+
+class TestZipfSampler:
+    def test_support_is_bounded(self):
+        s = ZipfSampler(8, 1.2, site_rng(0, "z"))
+        draws = [s.sample() for _ in range(500)]
+        assert min(draws) >= 0 and max(draws) < 8
+
+    def test_skew_zero_is_roughly_uniform(self):
+        s = ZipfSampler(4, 0.0, site_rng(0, "z"))
+        draws = [s.sample() for _ in range(4000)]
+        counts = [draws.count(r) for r in range(4)]
+        assert max(counts) < 1.25 * min(counts)
+
+    def test_higher_skew_concentrates_head(self):
+        lo = ZipfSampler(64, 0.5, site_rng(0, "z"))
+        hi = ZipfSampler(64, 1.5, site_rng(0, "z"))
+        lo_head = sum(1 for _ in range(2000) if lo.sample() == 0)
+        hi_head = sum(1 for _ in range(2000) if hi.sample() == 0)
+        assert hi_head > 2 * lo_head
+
+
+class TestObjectCatalog:
+    def test_sizes_fixed_and_bounded(self):
+        w = FleetWorkload(n_objects=32)
+        cat = ObjectCatalog(w)
+        sizes = [cat.size_of(i) for i in range(32)]
+        assert sizes == [cat.size_of(i) for i in range(32)]
+        assert all(w.min_object_bytes <= s <= w.max_object_bytes
+                   for s in sizes)
+        assert cat.total_bytes == sum(sizes)
+
+
+class TestGenerateRequests:
+    def test_same_seed_identical_sequence(self):
+        w = FleetWorkload(n_objects=64, n_requests=200)
+        assert generate_requests(w) == generate_requests(w)
+
+    def test_different_seed_differs(self):
+        a = FleetWorkload(n_objects=64, n_requests=200, seed=1)
+        b = FleetWorkload(n_objects=64, n_requests=200, seed=2)
+        assert generate_requests(a) != generate_requests(b)
+
+    def test_shape_invariants(self):
+        w = FleetWorkload(n_objects=64, n_requests=150)
+        reqs = generate_requests(w)
+        assert len(reqs) == 150
+        assert [r.stream for r in reqs] == list(range(150))
+        assert all(reqs[i].issue_ns < reqs[i + 1].issue_ns
+                   for i in range(len(reqs) - 1))
+        assert all(0 <= r.object_id < 64 for r in reqs)
+        assert all(w.min_object_bytes <= r.size_bytes <= w.max_object_bytes
+                   for r in reqs)
+
+    def test_bursty_mode_deterministic_and_distinct(self):
+        bursty = FleetWorkload(n_objects=64, n_requests=300,
+                               arrival="bursty")
+        poisson = FleetWorkload(n_objects=64, n_requests=300)
+        assert generate_requests(bursty) == generate_requests(bursty)
+        assert ([r.issue_ns for r in generate_requests(bursty)]
+                != [r.issue_ns for r in generate_requests(poisson)])
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(n_objects=0),
+        dict(n_requests=0),
+        dict(zipf_skew=-0.1),
+        dict(mean_interarrival_ns=0),
+        dict(arrival="pareto"),
+        dict(burst_factor=0.5),
+        dict(burst_toggle=0.0),
+        dict(min_object_bytes=8 * KiB, max_object_bytes=4 * KiB),
+        dict(size_alpha=0.0),
+        dict(seed=-1),
+    ])
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            FleetWorkload(**kwargs)

@@ -1,0 +1,270 @@
+"""N-port switch: routing, per-port accounting, multi-hop PAUSE, drain."""
+
+import pytest
+
+from repro.errors import ConfigError, EthernetError, SimulationError
+from repro.net import EthernetFrame, EthernetMac, EthernetSwitch
+from repro.net.generator import FrameStreamSource
+from repro.units import KiB, MiB
+
+
+def attach(sim, sw, port, name):
+    mac = EthernetMac(sim, name=name)
+    mac.connect(sw.ports[port])
+    return mac
+
+
+class TestNPortRouting:
+    def test_routes_by_meta_dst(self, sim):
+        sw = EthernetSwitch(sim, n_ports=3)
+        src = attach(sim, sw, 0, "src")
+        dsts = [attach(sim, sw, 1, "d1"), attach(sim, sw, 2, "d2")]
+        sw.add_route("d1", 1)
+        sw.add_route("d2", 2)
+        sw.start()
+        got = {}
+
+        def sender():
+            for name in ("d1", "d2", "d1"):
+                yield from src.send(
+                    EthernetFrame(payload_bytes=500, meta={"dst": name}))
+
+        def receiver(mac, n):
+            for _ in range(n):
+                f = yield from mac.recv()
+                got.setdefault(mac.name, []).append(f.meta["dst"])
+
+        _ = sim.process(sender())
+        _ = sim.process(receiver(dsts[0], 2))
+        _ = sim.process(receiver(dsts[1], 1))
+        sim.run()
+        assert got == {"d1": ["d1", "d1"], "d2": ["d2"]}
+        assert sw.forwarded_out == [0, 2, 1]
+        assert sw.forwarded_frames == 3
+
+    def test_default_route_catches_unknown_dst(self, sim):
+        sw = EthernetSwitch(sim, n_ports=3)
+        src = attach(sim, sw, 0, "src")
+        up = attach(sim, sw, 2, "up")
+        sw.set_default_route(2)
+        sw.start()
+        got = []
+
+        def sender():
+            yield from src.send(
+                EthernetFrame(payload_bytes=500, meta={"dst": "elsewhere"}))
+
+        def receiver():
+            f = yield from up.recv()
+            got.append(f.meta["dst"])
+
+        _ = sim.process(sender())
+        _ = sim.process(receiver())
+        sim.run()
+        assert got == ["elsewhere"]
+
+    def test_missing_route_is_an_error(self, sim):
+        sw = EthernetSwitch(sim, n_ports=3)
+        src = attach(sim, sw, 0, "src")
+        sw.start()
+
+        def sender():
+            yield from src.send(
+                EthernetFrame(payload_bytes=500, meta={"dst": "nowhere"}))
+
+        _ = sim.process(sender())
+        with pytest.raises(SimulationError) as exc:
+            sim.run()
+        assert isinstance(exc.value.__cause__, EthernetError)
+
+    def test_hairpin_route_is_an_error(self, sim):
+        sw = EthernetSwitch(sim, n_ports=3)
+        src = attach(sim, sw, 0, "src")
+        sw.add_route("src", 0)
+        sw.start()
+
+        def sender():
+            yield from src.send(
+                EthernetFrame(payload_bytes=500, meta={"dst": "src"}))
+
+        _ = sim.process(sender())
+        with pytest.raises(SimulationError) as exc:
+            sim.run()
+        assert isinstance(exc.value.__cause__, EthernetError)
+
+    def test_two_port_keeps_cross_forwarding(self, sim):
+        """Historical API: no routes, no meta — frames cross over."""
+        sw = EthernetSwitch(sim)
+        a = EthernetMac(sim, "a")
+        b = EthernetMac(sim, "b")
+        a.connect(sw.port_a)
+        sw.port_b.connect(b)
+        sw.start()
+        got = []
+
+        def sender():
+            yield from a.send(EthernetFrame(payload_bytes=500))
+
+        def receiver():
+            got.append((yield from b.recv()))
+
+        _ = sim.process(sender())
+        _ = sim.process(receiver())
+        sim.run()
+        assert len(got) == 1 and sw.forwarded_frames == 1
+
+    def test_validation(self, sim):
+        with pytest.raises(ConfigError):
+            EthernetSwitch(sim, n_ports=1)
+        with pytest.raises(ConfigError):
+            EthernetSwitch(sim, egress_frames=0)
+        with pytest.raises(ConfigError):
+            EthernetSwitch(sim, n_ports=3, port_rates=[12.5, 12.5])
+        sw = EthernetSwitch(sim, n_ports=3)
+        with pytest.raises(ConfigError):
+            sw.add_route("x", 3)
+        with pytest.raises(ConfigError):
+            sw.set_default_route(-1)
+
+
+class TestAccounting:
+    def test_frames_balance_after_run(self, sim):
+        sw = EthernetSwitch(sim, n_ports=3)
+        src = attach(sim, sw, 0, "src")
+        d1 = attach(sim, sw, 1, "d1")
+        sw.add_route("d1", 1)
+        sw.start()
+        n = 20
+
+        def sender():
+            for _ in range(n):
+                yield from src.send(
+                    EthernetFrame(payload_bytes=2000, meta={"dst": "d1"}))
+
+        def receiver():
+            for _ in range(n):
+                _ = yield from d1.recv()
+
+        _ = sim.process(sender())
+        _ = sim.process(receiver())
+        sim.run()
+        acct = sw.accounting()
+        assert acct == {"frames_in": n, "frames_out": n, "in_flight": 0,
+                        "dropped": 0}
+
+    def test_in_flight_counts_stalled_frames(self, sim):
+        """Stop mid-run: queued/held frames show up as in_flight and the
+        conservation identity still balances."""
+        sw = EthernetSwitch(sim, n_ports=3, egress_frames=2,
+                            buffer_bytes=64 * KiB)
+        src = attach(sim, sw, 0, "src")
+        d1 = EthernetMac(sim, "d1", rx_fifo_bytes=64 * KiB)
+        d1.connect(sw.ports[1])
+        sw.add_route("d1", 1)
+        sw.start()
+
+        def sender():
+            for _ in range(40):
+                yield from src.send(
+                    EthernetFrame(payload_bytes=8192, meta={"dst": "d1"}))
+
+        def slow_consumer():
+            while True:
+                _ = yield from d1.recv()
+                yield sim.timeout(5000)
+
+        _ = sim.process(sender())
+        _ = sim.process(slow_consumer())
+        sim.run(until=50_000)
+        acct = sw.accounting()
+        assert acct["in_flight"] > 0
+        assert acct["frames_in"] == acct["frames_out"] + acct["in_flight"]
+
+
+class TestMultiHopPause:
+    def test_incast_through_two_chained_switches(self, sim):
+        """Two sources incast through edge+core switches into one slow
+        sink: PAUSE must propagate sink -> core -> edge -> sources, and
+        nothing may drop anywhere."""
+        edge = EthernetSwitch(sim, name="edge", n_ports=3,
+                              buffer_bytes=64 * KiB, egress_frames=4)
+        core = EthernetSwitch(sim, name="core", n_ports=2,
+                              buffer_bytes=64 * KiB, egress_frames=4)
+        srcs = [attach(sim, edge, 0, "s0"), attach(sim, edge, 1, "s1")]
+        edge.ports[2].connect(core.ports[0])
+        edge.set_default_route(2)
+        sink = EthernetMac(sim, "sink", rx_fifo_bytes=64 * KiB)
+        sink.connect(core.ports[1])
+        core.add_route("sink", 1)
+        edge.start()
+        core.start()
+        n = 120
+        received = []
+
+        def sender(mac, tag):
+            for i in range(n):
+                yield from mac.send(EthernetFrame(
+                    payload_bytes=8192,
+                    meta={"dst": "sink", "tag": tag, "seq": i}))
+
+        def slow_sink():
+            for _ in range(2 * n):
+                f = yield from sink.recv()
+                received.append((f.meta["tag"], f.meta["seq"]))
+                yield sim.timeout(8000)
+
+        for tag, mac in enumerate(srcs):
+            _ = sim.process(sender(mac, tag))
+        _ = sim.process(slow_sink())
+        sim.run()
+        # lossless end to end, through both switches
+        assert len(received) == 2 * n
+        all_macs = list(edge.ports) + list(core.ports) + srcs + [sink]
+        assert sum(m.dropped_frames for m in all_macs) == 0
+        # per-source FIFO order survived the fabric
+        for tag in (0, 1):
+            seqs = [s for t, s in received if t == tag]
+            assert seqs == sorted(seqs)
+        # the pause chain: sink paused core, core paused edge, edge
+        # paused the original senders
+        assert sink.pause_frames_sent > 0
+        assert core.ports[0].pause_frames_sent > 0
+        assert edge.ports[0].pause_frames_sent > 0
+        assert edge.ports[1].pause_frames_sent > 0
+        assert all(m.tx_pause_ns > 0 for m in srcs)
+        assert edge.accounting()["dropped"] == 0
+        assert core.accounting()["dropped"] == 0
+
+
+class TestSourceDrainSemantics:
+    def test_drained_ns_is_receiver_observed_completion(self, sim):
+        """``finished_ns`` stamps end-of-serialization; the last frame is
+        still on the wire for ``propagation_ns`` more.  ``drained_ns`` is
+        the receiver-observed completion time."""
+        a = EthernetMac(sim, "a", propagation_ns=500)
+        b = EthernetMac(sim, "b", propagation_ns=500)
+        a.connect(b)
+        src = FrameStreamSource(sim, a, total_bytes=1 * MiB)
+        last_arrival = []
+
+        def receiver():
+            got = 0
+            while got < 1 * MiB:
+                f = yield from b.recv()
+                got += f.payload_bytes
+                if got >= 1 * MiB:
+                    last_arrival.append(sim.now)
+
+        src.start()
+        _ = sim.process(receiver())
+        sim.run()
+        assert src.finished_ns is not None
+        assert src.drained_ns == src.finished_ns + 500
+        assert last_arrival == [src.drained_ns]
+
+    def test_drained_ns_none_until_finished(self, sim):
+        a = EthernetMac(sim, "a")
+        b = EthernetMac(sim, "b")
+        a.connect(b)
+        src = FrameStreamSource(sim, a, total_bytes=64 * KiB)
+        assert src.drained_ns is None
