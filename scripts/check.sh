@@ -21,8 +21,8 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 status=0
 
 echo "== snacclint (python -m repro.analysis) =="
-# Hard gate: per-file rules SIM001-SIM005 + whole-program rules
-# SIM006-SIM010, fanned over 4 workers with the incremental cache.
+# Hard gate: per-file rules SIM001-SIM005 + SIM011 + whole-program
+# rules SIM006-SIM010, fanned over 4 workers with the incremental cache.
 # Emits the machine-readable findings artifact (snacclint.json) and
 # enforces the suppression-debt ratchet against the checked-in baseline.
 python -m repro.analysis src tests benchmarks examples scripts \
@@ -95,11 +95,46 @@ print(f"2-node fleet: {result.completed} streams, "
       f"{result.agg_gbps:.2f} GB/s, exact stats stable")
 EOF
 
+echo "== fork-sweep smoke (4 branches, exact stats, fork == cold) =="
+python - <<'EOF' || status=1
+import json
+from repro.bench.experiments.fork_sweep import storm_scenario
+from repro.sim.snapshot import ScenarioEngine, fork_available
+from repro.units import KiB
+
+setup, warm, branches = storm_scenario(512 * KiB, 256 * KiB, 4)
+engine = ScenarioEngine(setup, warm)
+mechanism = "fork" if fork_available() else "replay"
+shared = engine.run(branches, mechanism=mechanism)
+cold = ScenarioEngine(setup, warm).run(branches, mechanism="cold")
+assert json.dumps(shared, sort_keys=True) == \
+    json.dumps(cold, sort_keys=True), \
+    f"{mechanism} branches diverged from cold re-simulation"
+# Exact-stat pins: any drift is a determinism break in the checkpoint
+# path (quiesce barrier, freelist drain, fault-RNG capture, or the
+# rate_scale draw-position contract).
+ck = engine.checkpoint
+assert (ck.now, ck.events) == (525114, 8212), (ck.now, ck.events)
+pinned = [  # (scale, gbps, now, events, retries, injected)
+    (0.0, 1.2985075366181067, 726995, 12072, 0, 0),
+    (1.0, 1.2978903538521713, 727091, 12122, 1, 1),
+    (2.0, 1.1469774930869123, 753666, 12221, 3, 3),
+    (3.0, 1.1469774930869123, 753666, 12223, 3, 3),
+]
+got = [(p["scale"], p["gbps"], p["now"], p["events"],
+        p["faults"]["retries"], p["faults"]["nvme_failures_injected"])
+       for p in shared]
+assert got == pinned, got
+print(f"4-branch storm sweep ({mechanism}) byte-identical to cold, "
+      f"exact stats stable from checkpoint t={ck.now}ns")
+EOF
+
 echo "== perf gate (scripts/perf.py --check) =="
 if [ -f BENCH_sim_kernel.json ]; then
-    # Exit 1 is a hard gate (event-count determinism, parallel speedup on
-    # >=4-core hosts); exit 3 is an advisory throughput regression and
-    # exit 2 a stale baseline — both warn without failing the tree.
+    # Exit 1 is a hard gate (event-count determinism, fork-sweep
+    # equivalence + speedup, parallel speedup on >=4-core hosts); exit 3
+    # is an advisory throughput regression and exit 2 a stale baseline —
+    # both warn without failing the tree.
     python scripts/perf.py --check
     perf_rc=$?
     case $perf_rc in

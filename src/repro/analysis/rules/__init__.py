@@ -1,8 +1,8 @@
 """snacclint rule pack: DES-specific hazards for the repro simulation kernel.
 
 Importing this package registers every rule with the engine registry.
-SIM001–SIM005 are per-file; SIM006–SIM010 run on the whole-program pass
-(:mod:`repro.analysis.program`).
+SIM001–SIM005 and SIM011 are per-file; SIM006–SIM010 run on the
+whole-program pass (:mod:`repro.analysis.program`).
 
 ========  ==================================================================
 SIM001    event minted by a sim factory but never consumed
@@ -15,10 +15,12 @@ SIM007    unbounded blocking wait on a fault-recovery path
 SIM008    mutable module-level state reachable from spawned bench jobs
 SIM009    job code reading inputs not covered by ``code_fingerprint``
 SIM010    ns/bytes/cycles unit confusion across a call boundary
+SIM011    threads/open fds/non-quiesced pools live at a fork point
 ========  ==================================================================
 """
 
-from . import deadlock, determinism, events, spawn, timing, units_flow
+from . import (deadlock, determinism, events, fork_safety, spawn, timing,
+               units_flow)
 
 __all__ = ["events", "timing", "determinism", "deadlock", "spawn",
-           "units_flow"]
+           "units_flow", "fork_safety"]

@@ -33,7 +33,7 @@ from typing import (Any, Callable, Collection, Dict, List, Optional,
                     Sequence, Tuple)
 
 from ..apps.case_study import CaseStudyResult, IMPLEMENTATIONS
-from ..units import MiB
+from ..units import KiB, MiB
 from .cache import ResultCache
 from .experiments.ablations import (ABLATION_TITLES, BURST_SIZES,
                                     HBM_MEMORIES, ablation_buffer_size_point,
@@ -46,6 +46,7 @@ from .experiments.ablations import (ABLATION_TITLES, BURST_SIZES,
 from .experiments.fault_tolerance import (DEFAULT_FAULT_RATES,
                                           ablation_fault_rate_point)
 from .experiments.fig4 import SYSTEMS, fig4a_point, fig4b_point, fig4c_point
+from .experiments.fork_sweep import FORK_SWEEP_TITLE, fork_sweep_point
 from .experiments.fleet import (FLEET_NODE_COUNTS, FLEET_SCALE_SKEW,
                                 FLEET_SKEW_NODES, FLEET_SKEWS, FLEET_TITLE,
                                 fleet_incast_point, fleet_scale_point)
@@ -165,6 +166,17 @@ def _run_fleet_incast_point(n_senders: int, put_mib: int) -> Any:
     return rows_to_json(fleet_incast_point(n_senders, put_mib))
 
 
+def _run_fork_sweep_point(n_branches: int, warm_bytes: int,
+                          branch_bytes: int) -> Any:
+    # One job carries the WHOLE branchy sweep: the shared warm prefix
+    # lives in process memory, so the branches cannot be split across
+    # pool workers the way independent points are.  The payload is
+    # mechanism-independent (fork on single-threaded POSIX workers,
+    # replay elsewhere), so caching and --jobs N byte-identity hold.
+    return rows_to_json(
+        fork_sweep_point(n_branches, warm_bytes, branch_bytes))
+
+
 POINT_FUNCTIONS: Dict[str, Callable[..., Any]] = {
     "table1_point": _run_table1_point,
     "fig4a_point": _run_fig4a_point,
@@ -182,6 +194,7 @@ POINT_FUNCTIONS: Dict[str, Callable[..., Any]] = {
     "ablation_faults_point": _run_ablation_faults_point,
     "fleet_scale_point": _run_fleet_scale_point,
     "fleet_incast_point": _run_fleet_incast_point,
+    "fork_sweep_point": _run_fork_sweep_point,
 }
 
 
@@ -251,7 +264,8 @@ PROFILES: Dict[str, Dict[str, int]] = {
                  fault_seq_bytes=32 * MiB, fleet_requests=4000,
                  fleet_objects=2048, fleet_scale_gap_ns=2000,
                  fleet_skew_gap_ns=4000, fleet_incast_senders=8,
-                 fleet_incast_mib=4),
+                 fleet_incast_mib=4, fork_branches=16,
+                 fork_warm_bytes=4 * MiB, fork_branch_bytes=256 * KiB),
     "quick": dict(seq_bytes=128 * MiB, rand_bytes=16 * MiB,
                   fig4c_samples=150, images=24, warmup_images=4,
                   qd_bytes=24 * MiB, ooo_bytes=24 * MiB,
@@ -261,7 +275,8 @@ PROFILES: Dict[str, Dict[str, int]] = {
                   fault_seq_bytes=32 * MiB, fleet_requests=1500,
                   fleet_objects=1024, fleet_scale_gap_ns=2000,
                   fleet_skew_gap_ns=4000, fleet_incast_senders=6,
-                  fleet_incast_mib=2),
+                  fleet_incast_mib=2, fork_branches=8,
+                  fork_warm_bytes=2 * MiB, fork_branch_bytes=128 * KiB),
     "tiny": dict(seq_bytes=2 * MiB, rand_bytes=1 * MiB, fig4c_samples=20,
                  images=6, warmup_images=1, qd_bytes=1 * MiB,
                  ooo_bytes=1 * MiB, gen5_bytes=2 * MiB,
@@ -270,7 +285,9 @@ PROFILES: Dict[str, Dict[str, int]] = {
                  fault_rand_bytes=1 * MiB, fault_seq_bytes=2 * MiB,
                  fleet_requests=160, fleet_objects=128,
                  fleet_scale_gap_ns=4000, fleet_skew_gap_ns=6000,
-                 fleet_incast_senders=3, fleet_incast_mib=1),
+                 fleet_incast_senders=3, fleet_incast_mib=1,
+                 fork_branches=4, fork_warm_bytes=512 * KiB,
+                 fork_branch_bytes=64 * KiB),
 }
 
 #: stage ids in declared (report) order; the vocabulary of ``--only``.
@@ -278,7 +295,7 @@ EXPERIMENTS: Tuple[str, ...] = (
     "table1", "fig4a", "fig4b", "fig4c", "case_study", "ablation_qd",
     "ablation_ooo", "ablation_gen5", "ablation_multi_ssd", "ablation_hbm",
     "ablation_burst", "ablation_fc", "ablation_bufsize", "ablation_faults",
-    "fleet")
+    "fleet", "fork_sweep")
 
 
 def build_plan(profile: str = "full",
@@ -401,6 +418,13 @@ def build_plan(profile: str = "full",
                       n_senders=sizes["fleet_incast_senders"],
                       put_mib=sizes["fleet_incast_mib"])],
               _merge_rows("fleet", FLEET_TITLE)),
+        Stage("fork sweep", "fork_sweep",
+              [_job("fork_sweep", f"storm_x{sizes['fork_branches']}",
+                    "fork_sweep_point",
+                    n_branches=sizes["fork_branches"],
+                    warm_bytes=sizes["fork_warm_bytes"],
+                    branch_bytes=sizes["fork_branch_bytes"])],
+              _merge_rows("fork_sweep", FORK_SWEEP_TITLE)),
     ]
     if only is not None:
         stages = [s for s in stages if s.experiment in only]

@@ -82,11 +82,17 @@ def last_warmup_seconds() -> Optional[float]:
     return _warmup_seconds
 
 
-def shutdown_pool() -> None:
-    """Tear down the shared pool (atexit, or before a worker-count change)."""
+def shutdown_pool(wait: bool = False) -> None:
+    """Tear down the shared pool (atexit, or before a worker-count change).
+
+    ``wait=True`` joins the executor's management threads and worker
+    processes before returning — required before an ``os.fork`` point
+    (the snapshot engine refuses to fork while pool threads are alive;
+    SIM011 flags the same hazard statically).
+    """
     global _pool, _pool_workers
     if _pool is not None:
-        _pool.shutdown(wait=False, cancel_futures=True)
+        _pool.shutdown(wait=wait, cancel_futures=True)
         _pool = None
         _pool_workers = 0
 

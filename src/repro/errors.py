@@ -15,6 +15,11 @@ class DeadlockError(SimulationError):
     """The event queue drained while processes were still waiting."""
 
 
+class SnapshotError(SimulationError):
+    """Checkpoint/fork scenario engine failure (unsafe fork point,
+    replay divergence, or a branch that died in its forked child)."""
+
+
 class MemoryError_(ReproError):
     """Bad access to a simulated memory (OOB, misaligned, unmapped)."""
 

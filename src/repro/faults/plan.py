@@ -26,12 +26,32 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, fields
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
 from ..errors import ConfigError
 
 __all__ = ["FaultConfig", "FaultPlan", "FaultSite"]
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively coerce numpy scalars so RNG state dicts JSON-serialize.
+
+    ``Generator.bit_generator.state`` is a nested dict of plain ints and
+    strings for PCG64, but the coercion keeps the capture format safe
+    against bit-generator implementations that hand back numpy scalars
+    (or arrays) instead.
+    """
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    return value
 
 #: fields of :class:`FaultConfig` that are injection probabilities
 _RATE_FIELDS = (
@@ -127,30 +147,64 @@ class FaultConfig:
 class FaultSite:
     """One injection point's private, pre-seeded decision stream."""
 
-    __slots__ = ("name", "draws", "_rng")
+    __slots__ = ("name", "draws", "_rng", "_plan")
 
-    def __init__(self, name: str, rng: np.random.Generator) -> None:
+    def __init__(self, name: str, rng: np.random.Generator,
+                 plan: "Optional[FaultPlan]" = None) -> None:
         self.name = name
         #: decisions drawn so far (stream position; useful in tests)
         self.draws = 0
         self._rng = rng
+        #: owning plan, consulted for the branch-time rate scale; None for
+        #: free-standing sites built directly in tests
+        self._plan = plan
 
     def flip(self, rate: float) -> bool:
         """The stream's next decision: True with probability *rate*.
 
         Always consumes one draw, so a site queried for several fault
         kinds keeps a fixed command-to-stream-position mapping even when
-        some of the rates are zero.
+        some of the rates are zero.  The owning plan's
+        :attr:`FaultPlan.rate_scale` multiplies *rate* at decision time —
+        a draw is consumed either way, so scaling (even to 0.0) never
+        shifts any stream position.
         """
         self.draws += 1
+        plan = self._plan
+        if plan is not None and plan.rate_scale != 1.0:
+            rate = rate * plan.rate_scale
         return bool(self._rng.random() < rate)
+
+    def capture_state(self) -> Dict[str, Any]:
+        """JSON-able snapshot of the stream position and RNG internals."""
+        return {
+            "name": self.name,
+            "draws": self.draws,
+            "rng": _jsonable(self._rng.bit_generator.state),
+        }
 
 
 class FaultPlan:
-    """Factory of per-site decision streams for one seeded fault config."""
+    """Factory of per-site decision streams for one seeded fault config.
+
+    ``rate_scale`` is the one piece of *mutable* plan state: a global
+    multiplier applied to every rate at :meth:`FaultSite.flip` time.  It
+    exists for scenario forking (DESIGN.md §10): a warm prefix runs with
+    the scale at ``0.0`` (decisions all come out False but every draw is
+    still consumed, so stream positions stay aligned with any other
+    scale), then each branch sets its own intensity — no rebuild, no
+    re-seeding, bit-identical stream state at the branch point.  The
+    default ``1.0`` multiplies exactly (IEEE ``x * 1.0 == x``), so plans
+    that never touch it behave byte-for-byte as before.
+    """
 
     def __init__(self, config: FaultConfig) -> None:
         self.config = config
+        #: decision-time multiplier on every injection rate (see class doc)
+        self.rate_scale: float = 1.0
+        #: every site created through :meth:`site`, in attach order (the
+        #: build order of the model, which is deterministic)
+        self._sites: List[FaultSite] = []
 
     def seed_for(self, site_name: str) -> np.random.SeedSequence:
         """The seed of *site_name*'s stream — a pure function of the plan
@@ -165,4 +219,18 @@ class FaultPlan:
         site: calling twice with the same name yields two identical,
         independent streams (same seed), which is almost never wanted.
         """
-        return FaultSite(name, np.random.default_rng(self.seed_for(name)))
+        made = FaultSite(name, np.random.default_rng(self.seed_for(name)),
+                         plan=self)
+        self._sites.append(made)
+        return made
+
+    def capture_state(self) -> List[Dict[str, Any]]:
+        """Every site's stream position + RNG state, in attach order.
+
+        This is the fault half of a snapshot checkpoint: two plans built
+        by the same deterministic factory and driven through the same
+        warm prefix capture *equal* state or the factory is not
+        deterministic — the replay fallback in :mod:`repro.sim.snapshot`
+        hard-fails on any difference.  JSON-able by construction.
+        """
+        return [s.capture_state() for s in self._sites]

@@ -1,12 +1,17 @@
 """Discrete-event simulation kernel (clock, processes, resources, stats)."""
 
-from .core import Condition, Event, Interrupt, Process, Simulator, Timeout
+from .core import (CheckpointInfo, Condition, Event, Interrupt, Process,
+                   Simulator, Timeout, drain_freelists)
 from .resources import Resource, Store, TokenBucket
+from .snapshot import (Checkpoint, ScenarioEngine, fork_available,
+                       fork_scenarios)
 from .stats import BandwidthMeter, LatencyCollector, Summary, summarize
 from .trace import GLOBAL_TRACER, TraceRecord, Tracer
 
 __all__ = [
     "Condition", "Event", "Interrupt", "Process", "Simulator", "Timeout",
+    "CheckpointInfo", "drain_freelists",
+    "Checkpoint", "ScenarioEngine", "fork_available", "fork_scenarios",
     "Resource", "Store", "TokenBucket",
     "BandwidthMeter", "LatencyCollector", "Summary", "summarize",
     "GLOBAL_TRACER", "TraceRecord", "Tracer",

@@ -59,7 +59,7 @@ from collections import deque
 from heapq import heappop, heappush
 from sys import getrefcount
 from typing import (Any, Callable, Deque, Dict, Generator, Iterable, List,
-                    Optional, Tuple)
+                    NamedTuple, Optional, Tuple)
 
 from ..errors import SimulationError
 
@@ -70,6 +70,8 @@ __all__ = [
     "Condition",
     "Interrupt",
     "Simulator",
+    "CheckpointInfo",
+    "drain_freelists",
 ]
 
 #: Sentinel distinguishing "not yet triggered" from a ``None`` event value.
@@ -87,6 +89,21 @@ _EVENT_POOL: List["Event"] = []
 #: upper bound on either pool, so a burst of a million timeouts does not
 #: pin a million dead objects for the rest of the process lifetime.
 _POOL_CAP = 4096
+
+
+def drain_freelists() -> Tuple[int, int]:
+    """Empty both event freelists; returns the (timeout, event) counts dropped.
+
+    Pool membership never affects results, so draining is safe at any
+    point.  :meth:`Simulator.quiesce` calls this before a checkpoint so a
+    recycled object allocated *before* the barrier can never be handed
+    out *after* it — in the parent or in any forked child (children start
+    from the same empty pools).  See DESIGN.md §10.
+    """
+    counts = (len(_TIMEOUT_POOL), len(_EVENT_POOL))
+    _TIMEOUT_POOL.clear()
+    _EVENT_POOL.clear()
+    return counts
 
 
 class Event:
@@ -493,6 +510,20 @@ def _scheduled_event(sim: "Simulator", value: Any) -> Event:
     return ev
 
 
+class CheckpointInfo(NamedTuple):
+    """What :meth:`Simulator.quiesce` pins down: clock and event count.
+
+    ``events`` is the kernel sequence counter — the total number of
+    scheduling decisions taken so far.  Two quiesced simulators built
+    from the same deterministic factory agree on both fields or they are
+    not the same simulation (the replay fallback in
+    :mod:`repro.sim.snapshot` gates on exactly this).
+    """
+
+    now: int
+    events: int
+
+
 class Simulator:
     """The event loop: clock, calendar-queue scheduler, process factory.
 
@@ -663,6 +694,42 @@ class Simulator:
         proc, exc = self._crashed.pop(0)
         raise SimulationError(
             f"process {proc.name!r} crashed at t={self._now}") from exc
+
+    def quiesce(self) -> CheckpointInfo:
+        """Checkpoint barrier: settle the current instant, drain the pools.
+
+        Processes every event scheduled *at the current time* — including
+        events those events schedule at the same timestamp — without ever
+        advancing the clock, so the simulator comes to rest at a point
+        where the next thing that can happen is strictly in the future.
+        For the calendar scheduler that empties the ready-deque (future
+        buckets are untouched); for the heap variant it pops while the
+        head's timestamp equals ``now``.
+
+        Also empties both module freelists (:func:`drain_freelists`), so
+        no recycled :class:`Timeout`/:class:`Event` allocated before the
+        barrier can be handed out after it — the invariant that makes an
+        ``os.fork`` at this point safe to take (DESIGN.md §10).  Pending
+        process crashes surface here rather than leaking into a branch.
+
+        Returns the :class:`CheckpointInfo` the snapshot engine records
+        (and the replay fallback verifies) for this barrier.
+        """
+        crashed = self._crashed
+        if self._calendar:
+            ready = self._ready
+            while ready:
+                self.step()
+                if crashed:
+                    self._raise_crash()
+        else:
+            heap = self._heap
+            while heap and heap[0][0] == self._now:
+                self.step()
+                if crashed:
+                    self._raise_crash()
+        drain_freelists()
+        return CheckpointInfo(self._now, self._seq)
 
     def run(self, until: Optional[int] = None) -> None:
         """Run until the queue drains, or until time *until* (ns) is reached.

@@ -30,6 +30,7 @@ RULE_FIXTURES = [
     "sim008_spawn.py",
     "sim009_fingerprint.py",
     "sim010_units.py",
+    "sim011/true_positive.py",
 ]
 
 
@@ -133,7 +134,8 @@ class TestCli:
         proc = run_cli("--list-rules")
         assert proc.returncode == 0
         for rid in ("SIM001", "SIM002", "SIM003", "SIM004", "SIM005",
-                    "SIM006", "SIM007", "SIM008", "SIM009", "SIM010"):
+                    "SIM006", "SIM007", "SIM008", "SIM009", "SIM010",
+                    "SIM011"):
             assert rid in proc.stdout
 
 

@@ -1,10 +1,12 @@
-"""Perf-harness parallel gate: verdicts, baseline self-consistency.
+"""Perf-harness gates: verdicts, baseline validation, self-consistency.
 
 These tests exist because a committed baseline once recorded a --jobs 4
 speedup of 0.787x while the harness gated >= 2.0x — a contradiction
 that survived because the live gate skipped on the small hosts that ran
-it.  The gate logic is now pure (:func:`parallel_gate_verdict`) and the
-committed baseline is itself validated, on every host.
+it.  The gate logic is pure (:func:`parallel_gate_verdict`,
+:func:`fork_gate_verdict`), schema validation is pure
+(:func:`validate_baseline`), and the committed baseline is itself
+validated, on every host.
 """
 
 import importlib.util
@@ -21,22 +23,36 @@ perf = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(perf)
 
 
-def doc(host_cores, jobs4_speedup, schema=None):
+def doc(host_cores, jobs4_speedup, schema=None, fork=None):
     """A structurally valid baseline document with the given sweep."""
+    fork_section = {
+        "branches": perf.FORK_BRANCHES,
+        "warm_bytes": perf.FORK_WARM_BYTES,
+        "branch_bytes": perf.FORK_BRANCH_BYTES,
+        "mechanism": "fork", "forked_seconds": 0.3, "cold_seconds": 1.8,
+        "speedup": 6.0, "identical": True,
+    }
+    if fork is not None:
+        fork_section.update(fork)
     return {
         "schema": perf.SCHEMA if schema is None else schema,
         "kernel": {"scheduler": "calendar", "n_procs": perf.N_PROCS,
-                   "n_iters": perf.N_ITERS, "events": 192128,
-                   "seconds": 0.2, "events_per_sec": 1_000_000},
+                   "n_iters": perf.N_ITERS, "host_cores": host_cores,
+                   "events": 192128, "seconds": 0.2,
+                   "events_per_sec": 1_000_000},
         "parallel_runner": {
-            "n_jobs": 59, "host_cores": host_cores,
+            "n_jobs": 60, "host_cores": host_cores,
+            "advisory": host_cores < perf.GATE_MIN_CORES,
             "sweep": [
+                # jobs=1 runs in-process: no pool, so warmup is 0.0 by
+                # definition (schema 4 rejects the old null spelling)
                 {"jobs": 1, "seconds": 5.0, "speedup": 1.0,
-                 "warmup_seconds": None},
+                 "warmup_seconds": 0.0},
                 {"jobs": perf.GATE_JOBS, "seconds": 5.0 / jobs4_speedup,
                  "speedup": jobs4_speedup, "warmup_seconds": 0.3},
             ],
         },
+        "fork_sweep": fork_section,
     }
 
 
@@ -55,6 +71,37 @@ class TestParallelGateVerdict:
         assert perf.parallel_gate_verdict(0.5, 1) is None
         assert perf.parallel_gate_verdict(0.5,
                                           perf.GATE_MIN_CORES - 1) is None
+
+
+class TestForkGateVerdict:
+    def test_threshold_is_inclusive(self):
+        assert perf.fork_gate_verdict(perf.FORK_GATE_MIN_SPEEDUP,
+                                      True) is True
+        assert perf.fork_gate_verdict(perf.FORK_GATE_MIN_SPEEDUP - 0.01,
+                                      True) is False
+
+    def test_equivalence_break_fails_at_any_speedup(self):
+        # a fast-but-wrong fork is the worst possible outcome
+        assert perf.fork_gate_verdict(100.0, False) is False
+
+    def test_no_small_host_exemption(self):
+        # prefix sharing needs no cores: the verdict is never None
+        assert perf.fork_gate_verdict(0.5, True) is False
+
+
+class TestValidateBaseline:
+    def test_healthy_doc_validates(self):
+        assert perf.validate_baseline(doc(1, 1.0)) is None
+
+    def test_old_schema_is_stale(self):
+        stale = perf.validate_baseline(doc(8, 2.6, schema=perf.SCHEMA - 1))
+        assert stale is not None
+
+    def test_null_warmup_seconds_is_stale(self):
+        bad = doc(1, 1.0)
+        bad["parallel_runner"]["sweep"][0]["warmup_seconds"] = None
+        stale = perf.validate_baseline(bad)
+        assert stale is not None and "warmup_seconds" in stale
 
 
 class TestBaselineContradiction:
@@ -77,6 +124,22 @@ class TestBaselineContradiction:
     def test_doc_without_sweep_is_ignored(self):
         assert perf.baseline_contradiction({"schema": perf.SCHEMA}) is None
 
+    def test_non_identical_fork_sweep_contradicts(self):
+        message = perf.baseline_contradiction(
+            doc(1, 1.0, fork={"identical": False}))
+        assert message is not None and "byte-identical" in message
+
+    def test_sub_gate_fork_speedup_contradicts(self):
+        message = perf.baseline_contradiction(
+            doc(1, 1.0, fork={"speedup": 1.4}))
+        assert message is not None and "1.40x" in message
+
+    def test_replay_fallback_speedup_is_not_judged(self):
+        # recorded on a fork-less host: the speedup is informational
+        assert perf.baseline_contradiction(
+            doc(1, 1.0, fork={"mechanism": "replay",
+                              "speedup": 1.0})) is None
+
 
 class TestCheckExitCodes:
     @pytest.fixture
@@ -92,10 +155,21 @@ class TestCheckExitCodes:
         baseline.write_text(json.dumps(doc(8, 2.6, schema=perf.SCHEMA - 1)))
         assert perf.check(tolerance=1.3) == 2
 
+    def test_null_warmup_seconds_exits_2(self, baseline):
+        bad = doc(8, 2.6)
+        bad["parallel_runner"]["sweep"][0]["warmup_seconds"] = None
+        baseline.write_text(json.dumps(bad))
+        assert perf.check(tolerance=1.3) == 2
+
     def test_self_contradictory_baseline_exits_1_on_any_host(self, baseline):
         # fires before any timing: judged from the committed file alone,
         # so even a 1-core CI host rejects the contradictory baseline
         baseline.write_text(json.dumps(doc(64, 0.787)))
+        assert perf.check(tolerance=1.3) == 1
+
+    def test_non_identical_fork_baseline_exits_1(self, baseline):
+        baseline.write_text(
+            json.dumps(doc(1, 1.0, fork={"identical": False})))
         assert perf.check(tolerance=1.3) == 1
 
     def test_measure_refuses_contradictory_baseline(self, baseline,
@@ -116,5 +190,29 @@ class TestCommittedBaseline:
         assert committed["schema"] == perf.SCHEMA
         assert committed["kernel"]["n_procs"] == perf.N_PROCS
         assert committed["kernel"]["n_iters"] == perf.N_ITERS
+        assert "host_cores" in committed["kernel"]
         assert "host_cores" in committed["parallel_runner"]
+        assert perf.validate_baseline(committed) is None
         assert perf.baseline_contradiction(committed) is None
+
+    def test_committed_sweep_advisory_flag_matches_its_host(self):
+        committed = json.loads(
+            (REPO_ROOT / "BENCH_sim_kernel.json").read_text())
+        runner = committed["parallel_runner"]
+        assert runner["advisory"] == (
+            runner["host_cores"] < perf.GATE_MIN_CORES)
+
+    def test_committed_fork_sweep_passes_its_own_gate(self):
+        committed = json.loads(
+            (REPO_ROOT / "BENCH_sim_kernel.json").read_text())
+        fork = committed["fork_sweep"]
+        assert fork["identical"] is True
+        assert fork["branches"] == perf.FORK_BRANCHES
+        if fork["mechanism"] == "fork":
+            assert perf.fork_gate_verdict(fork["speedup"], True) is True
+
+    def test_committed_sweep_has_no_null_warmups(self):
+        committed = json.loads(
+            (REPO_ROOT / "BENCH_sim_kernel.json").read_text())
+        for entry in committed["parallel_runner"]["sweep"]:
+            assert isinstance(entry["warmup_seconds"], float)
