@@ -8,9 +8,11 @@
 # install -e '.[lint]') and are skipped with a notice otherwise, so the
 # gate works in minimal containers.  The perf gate compares the kernel
 # microbenchmark against the committed BENCH_sim_kernel.json: event-count
-# determinism and the >=4-core parallel speedup target are hard failures,
-# while throughput regressions only *warn* (wall-clock moves with host
-# load).
+# determinism, the >=4-core parallel speedup target, and the fleet
+# coarsening gate (train >= 3x per_frame, rows byte-identical) are hard
+# failures, while throughput regressions only *warn* (wall-clock moves
+# with host load).  The coarsening byte-identity section additionally
+# pins the ENTIRE quick report — all families — across both modes.
 # Exit code is non-zero if any hard gate that ran failed.
 # tests/analysis/test_check_script.py runs this script under plain
 # pytest, so `pytest -x -q` alone catches regressions.
@@ -129,12 +131,41 @@ print(f"4-branch storm sweep ({mechanism}) byte-identical to cold, "
       f"exact stats stable from checkpoint t={ck.now}ns")
 EOF
 
+echo "== quickstart smoke (examples/quickstart.py) =="
+python examples/quickstart.py > /dev/null || status=1
+
+echo "== coarsening byte-identity (full quick report, train vs per_frame) =="
+# Hard gate: the ENTIRE quick report — every family, not just fleet —
+# must be byte-identical between the frame-train fast path and the
+# per-frame reference path.  Both runs share one throwaway cache, so the
+# second run re-simulates only the fleet jobs (coarsening is part of the
+# fleet cache key); everything else is a hit, which keeps this gate at
+# one full quick run plus one fleet family instead of two full runs.
+coarsen_cache=$(mktemp -d)
+coarsen_train=$(mktemp)
+coarsen_pf=$(mktemp)
+coarsen_ok=1
+python -m repro.bench --quick --cache-dir "$coarsen_cache" \
+    --coarsening train > "$coarsen_train" 2>/dev/null || coarsen_ok=0
+python -m repro.bench --quick --cache-dir "$coarsen_cache" \
+    --coarsening per_frame > "$coarsen_pf" 2>/dev/null || coarsen_ok=0
+if [ "$coarsen_ok" -eq 1 ] && cmp -s "$coarsen_train" "$coarsen_pf"; then
+    echo "quick report byte-identical between coarsening modes"
+else
+    echo "FAIL: quick report differs between train and per_frame" \
+         "(or a run failed); diff:"
+    diff "$coarsen_train" "$coarsen_pf" | head -40
+    status=1
+fi
+rm -rf "$coarsen_cache" "$coarsen_train" "$coarsen_pf"
+
 echo "== perf gate (scripts/perf.py --check) =="
 if [ -f BENCH_sim_kernel.json ]; then
     # Exit 1 is a hard gate (event-count determinism, fork-sweep
-    # equivalence + speedup, parallel speedup on >=4-core hosts); exit 3
-    # is an advisory throughput regression and exit 2 a stale baseline —
-    # both warn without failing the tree.
+    # equivalence + speedup, parallel speedup on >=4-core hosts, and the
+    # fleet coarsening gate: train >= 3x faster than per_frame with
+    # byte-identical rows); exit 3 is an advisory wall-clock regression
+    # and exit 2 a stale baseline — both warn without failing the tree.
     python scripts/perf.py --check
     perf_rc=$?
     case $perf_rc in

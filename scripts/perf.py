@@ -8,9 +8,24 @@ Usage::
 
 The default mode runs a deterministic event-kernel microbenchmark (reported
 as events/sec), two small timed experiment subsets, a serial-vs-parallel
-sweep of the warm-pool job runner (``--jobs`` 1/2/4), and the forked-vs-cold
-scenario sweep (see below), and writes the results to
-``BENCH_sim_kernel.json`` (schema 4) at the repo root.
+sweep of the warm-pool job runner (``--jobs`` 1/2/4), the forked-vs-cold
+scenario sweep (see below), and the train-vs-per-frame fleet coarsening
+sweep, and writes the results to ``BENCH_sim_kernel.json`` (schema 5) at
+the repo root.
+
+Schema 5 adds the ``fleet_coarsening`` section: the quick-profile fleet
+family (the exact seven cells the ``--quick`` bench runs) is timed twice —
+once with the frame-train fast path (``coarsening="train"``), once on the
+per-frame reference path — ``COARSEN_REPEATS`` interleaved pairs, gated on
+the best *per-pair* ratio (pairing keeps host-load noise correlated across
+the two modes; independent best-of minima do not).  Both
+the per-member row payloads' byte-identity and the ``>=
+COARSEN_GATE_MIN_RATIO`` speedup are **hard-gated** in ``--check`` (the
+ratio compares two runs on the *same* host in the *same* process, so no
+core-count or cross-host exemption applies); the recorded train-mode
+wall-clock additionally gets the same advisory cross-host regression rule
+as the kernel microbench (compared only when ``host_cores`` matches,
+beyond ``--tolerance`` is exit 3).
 
 Schema 4 adds two things.  First, the ``fork_sweep`` section: the 16-branch
 fault-storm scenario from ``repro.bench.experiments.fork_sweep`` is run
@@ -98,7 +113,7 @@ from repro.sim.snapshot import ScenarioEngine, fork_available  # noqa: E402
 from repro.units import KiB, MiB  # noqa: E402
 
 BASELINE_FILE = REPO_ROOT / "BENCH_sim_kernel.json"
-SCHEMA = 4
+SCHEMA = 5
 
 #: microbenchmark shape — changing these invalidates committed baselines
 N_PROCS = 64
@@ -122,6 +137,15 @@ FORK_BRANCH_BYTES = 128 * KiB
 #: sharing is parallelism-independent, so even a 1-core host must hit it
 #: (the gate only skips where os.fork does not exist at all).
 FORK_GATE_MIN_SPEEDUP = 3.0
+
+#: hard gate: the frame-train fast path must run the quick fleet family
+#: at least this much faster than the per-frame reference path, with
+#: byte-identical row payloads.  The ratio divides two wall-clocks taken
+#: on the same host in the same process, so it has no core-count or
+#: cross-host exemption at all — it is a property of the code, not the
+#: machine.
+COARSEN_GATE_MIN_RATIO = 3.0
+COARSEN_REPEATS = 3
 
 
 def usable_cores() -> int:
@@ -239,6 +263,18 @@ def baseline_contradiction(doc: Dict[str, Any]) -> Optional[str]:
         if fork_gate_verdict(speedup, True) is False:
             return (f"recorded forked-vs-cold speedup {speedup:.2f}x is "
                     f"below the required {FORK_GATE_MIN_SPEEDUP:.1f}x")
+    fleet = doc.get("fleet_coarsening") or {}
+    if fleet:
+        # Same logic as the fork section: the coarsening gate applies on
+        # every host, so a committed baseline that misses it is wrong on
+        # its face, not a victim of local timing.
+        if fleet.get("identical") is not True:
+            return ("recorded fleet coarsening sweep was not "
+                    "byte-identical between train and per_frame")
+        speedup = float(fleet.get("speedup", 0.0))
+        if coarsen_gate_verdict(speedup, True) is False:
+            return (f"recorded train-vs-per_frame speedup {speedup:.2f}x "
+                    f"is below the required {COARSEN_GATE_MIN_RATIO:.1f}x")
     return None
 
 
@@ -262,6 +298,10 @@ def validate_baseline(doc: Dict[str, Any]) -> Optional[str]:
             return (f"null warmup_seconds in the jobs={entry.get('jobs')} "
                     f"sweep entry (schema 4 records 0.0 for the poolless "
                     f"serial run)")
+    fleet = doc.get("fleet_coarsening") or {}
+    if doc.get("experiments") is not None and not fleet.get("train_seconds"):
+        return ("missing fleet_coarsening section (schema 5 records the "
+                "train-vs-per_frame quick fleet sweep)")
     return None
 
 
@@ -364,6 +404,135 @@ def check_fork_gate() -> int:
     return 0
 
 
+# --------------------------------------------------- fleet coarsening gate
+def coarsen_gate_verdict(speedup: float, identical: bool) -> bool:
+    """Pure coarsening-gate decision; pinned by tests without timing.
+
+    Mirrors :func:`fork_gate_verdict`: an equivalence break is never
+    acceptable, the ratio threshold is inclusive, and there is no
+    inapplicable-host case — both halves of the ratio are measured on
+    the same host in the same process.
+    """
+    if not identical:
+        return False
+    return speedup >= COARSEN_GATE_MIN_RATIO
+
+
+def _quick_fleet_family():
+    """``(label, run(coarsening) -> canonical-JSON rows)`` per quick cell.
+
+    The exact seven fleet cells of the ``--quick`` bench profile, built
+    from the same :data:`repro.bench.jobs.PROFILES` sizes so this sweep
+    tracks the quick profile automatically.
+    """
+    from repro.bench.experiments.fleet import (FLEET_NODE_COUNTS,
+                                               FLEET_SCALE_SKEW,
+                                               FLEET_SKEW_NODES, FLEET_SKEWS,
+                                               fleet_incast_point,
+                                               fleet_scale_point)
+    from repro.bench.jobs import PROFILES
+    from repro.bench.runner import rows_to_json
+
+    sizes = PROFILES["quick"]
+
+    def canon(rows) -> str:
+        return json.dumps(rows_to_json(rows), sort_keys=True)
+
+    members = []
+    for n in FLEET_NODE_COUNTS:
+        members.append((f"scale/{n}n", lambda c, n=n: canon(fleet_scale_point(
+            n, FLEET_SCALE_SKEW, sizes["fleet_requests"],
+            sizes["fleet_objects"], sizes["fleet_scale_gap_ns"],
+            coarsening=c))))
+    for skew in FLEET_SKEWS:
+        members.append((f"skew/z{skew:g}",
+                        lambda c, skew=skew: canon(fleet_scale_point(
+                            FLEET_SKEW_NODES, skew, sizes["fleet_requests"],
+                            sizes["fleet_objects"],
+                            sizes["fleet_skew_gap_ns"], coarsening=c))))
+    members.append(("incast", lambda c: canon(fleet_incast_point(
+        sizes["fleet_incast_senders"], sizes["fleet_incast_mib"],
+        coarsening=c))))
+    return members
+
+
+def fleet_coarsening_measure(repeats: int = COARSEN_REPEATS
+                             ) -> Dict[str, Any]:
+    """Time the quick fleet family train-vs-per-frame, interleaved.
+
+    Each repeat runs the whole family once per mode back to back
+    (train, then per_frame) and yields one *paired* ratio; the recorded
+    figures are those of the best-ratio pair.  Pairing matters on a
+    noisy host: the two runs of a pair are adjacent in time, so load
+    swings hit both modes together and mostly cancel in the ratio,
+    whereas taking each mode's best total across *different* repeats
+    lets a slow train window meet a fast per_frame window and sink the
+    gated figure even when every individual pair passes (observed as a
+    2.6x flake on a structurally ~3.9x host).  The invariant
+    ``speedup == per_frame_seconds / train_seconds`` holds exactly,
+    both measured in the same pair.  Every member's canonical row JSON
+    is also compared across modes on every repeat: the fast path must
+    be observationally indistinguishable, not just fast.
+    """
+    members = _quick_fleet_family()
+    best = {"train": float("inf"), "per_frame": float("inf"),
+            "ratio": 0.0}
+    identical = True
+    for _ in range(repeats):
+        docs: Dict[str, list] = {}
+        took: Dict[str, float] = {}
+        for mode in ("train", "per_frame"):
+            t0 = time.perf_counter()
+            docs[mode] = [run(mode) for _, run in members]
+            took[mode] = time.perf_counter() - t0
+        identical = identical and docs["train"] == docs["per_frame"]
+        ratio = (took["per_frame"] / took["train"]
+                 if took["train"] > 0 else float("inf"))
+        if ratio > best["ratio"]:
+            best = {"train": took["train"],
+                    "per_frame": took["per_frame"], "ratio": ratio}
+    return {
+        "profile": "quick",
+        "members": [label for label, _ in members],
+        "repeats": repeats,
+        "host_cores": usable_cores(),
+        "train_seconds": round(best["train"], 3),
+        "per_frame_seconds": round(best["per_frame"], 3),
+        "speedup": round(best["ratio"], 3),
+        "identical": identical,
+    }
+
+
+def check_coarsening_gate() -> Tuple[int, Optional[Dict[str, Any]]]:
+    """Live hard gate: train >= COARSEN_GATE_MIN_RATIO x, byte-identical.
+
+    Returns ``(exit_code, measurement)`` so :func:`check` can reuse the
+    live train-mode wall-clock for the advisory baseline comparison
+    without timing the family twice.
+    """
+    result = fleet_coarsening_measure()
+    label = (f"quick fleet family ({len(result['members'])} cells, "
+             f"best pair of {result['repeats']})")
+    if not result["identical"]:
+        print(f"perf: coarsening gate FAILED — {label} train rows were "
+              f"not byte-identical to per_frame (an exactness bug in the "
+              f"frame-train fast path)")
+        return 1, result
+    if coarsen_gate_verdict(result["speedup"], True) is False:
+        print(f"perf: coarsening gate FAILED — {label} train speedup "
+              f"{result['speedup']:.2f}x < required "
+              f"{COARSEN_GATE_MIN_RATIO:.1f}x (per_frame "
+              f"{result['per_frame_seconds']:.2f}s vs train "
+              f"{result['train_seconds']:.2f}s)")
+        return 1, result
+    print(f"perf: coarsening gate passed — {label} "
+          f"{result['speedup']:.2f}x >= {COARSEN_GATE_MIN_RATIO:.1f}x, "
+          f"rows byte-identical (per_frame "
+          f"{result['per_frame_seconds']:.2f}s vs train "
+          f"{result['train_seconds']:.2f}s)")
+    return 0, result
+
+
 def parallel_runner_sweep(jobs_sweep: Sequence[int] = JOBS_SWEEP
                           ) -> Dict[str, Any]:
     """Wall-clock the warm-pool runner across worker counts, uncached.
@@ -459,6 +628,13 @@ def measure(skip_experiments: bool = False,
               f"cold {fork['cold_seconds']:.2f}s = {fork['speedup']:.2f}x, "
               f"identical={fork['identical']}")
         doc["fork_sweep"] = fork
+        print("fleet coarsening sweep (quick family, train vs per_frame, "
+              f"best pair of {COARSEN_REPEATS}) ...")
+        fleet = fleet_coarsening_measure()
+        print(f"  train {fleet['train_seconds']:.2f}s vs per_frame "
+              f"{fleet['per_frame_seconds']:.2f}s = "
+              f"{fleet['speedup']:.2f}x, identical={fleet['identical']}")
+        doc["fleet_coarsening"] = fleet
     return doc
 
 
@@ -485,15 +661,17 @@ def check(tolerance: float) -> int:
     """Validate the current tree against the committed baseline.
 
     Hard failures (exit 1): kernel event-count divergence; a committed
-    baseline that fails its own recorded parallel or fork gate (checked
-    on every host — the contradiction is in the file, not in local
-    timing); live parallel-gate miss on a >= GATE_MIN_CORES host; live
-    fork-gate miss wherever ``os.fork`` exists.  Stale baseline (schema,
-    workload shape, null warmup_seconds) exits 2.  A throughput
-    regression beyond *tolerance* is advisory (exit 3) — and is only
-    judged at all when this host's core count matches the baseline's
-    recorded ``kernel.host_cores`` (cross-host wall-clock comparison is
-    noise, not signal).
+    baseline that fails its own recorded parallel, fork, or coarsening
+    gate (checked on every host — the contradiction is in the file, not
+    in local timing); live parallel-gate miss on a >= GATE_MIN_CORES
+    host; live fork-gate miss wherever ``os.fork`` exists; live
+    coarsening-gate miss on any host (equivalence break or train ratio
+    below COARSEN_GATE_MIN_RATIO).  Stale baseline (schema, workload
+    shape, null warmup_seconds, missing fleet_coarsening) exits 2.  A
+    wall-clock regression beyond *tolerance* — kernel throughput or the
+    quick fleet train time — is advisory (exit 3), and is only judged
+    at all when this host's core count matches the one recorded next to
+    the figure (cross-host wall-clock comparison is noise, not signal).
     """
     if not BASELINE_FILE.exists():
         print(f"perf: no baseline at {BASELINE_FILE.name}; "
@@ -529,6 +707,9 @@ def check(tolerance: float) -> int:
     gate = check_fork_gate()
     if gate:
         return gate
+    gate, fleet_live = check_coarsening_gate()
+    if gate:
+        return gate
 
     base_cores = base_kernel.get("host_cores")
     cores = usable_cores()
@@ -545,6 +726,18 @@ def check(tolerance: float) -> int:
               f"{(tolerance - 1) * 100:.0f}% below the baseline "
               "(advisory — rerun on an idle host before trusting it)")
         return 3
+    base_fleet = baseline.get("fleet_coarsening") or {}
+    base_train = base_fleet.get("train_seconds")
+    if (fleet_live is not None and base_train
+            and base_fleet.get("host_cores") == cores):
+        live_train = fleet_live["train_seconds"]
+        print(f"perf: quick fleet (train) {live_train:.2f}s vs committed "
+              f"baseline {base_train:.2f}s")
+        if live_train > base_train * tolerance:
+            print(f"perf: quick fleet train wall-clock regressed more "
+                  f"than {(tolerance - 1) * 100:.0f}% above the baseline "
+                  "(advisory — rerun on an idle host before trusting it)")
+            return 3
     return 0
 
 

@@ -36,10 +36,15 @@ __all__ = ["MutableGlobalInJobPath", "FingerprintGap",
 #: * ``repro.bench.pool`` warm-pool handle: mutated exclusively in the
 #:   *driving* process; workers import the module only to resolve the
 #:   initializer by name and never touch these globals.
+#: * ``repro.units`` memo: a bounded cache over a pure function —
+#:   entries are recomputable from their key, so a worker starting cold
+#:   just recomputes.
 SPAWN_SAFE_GLOBALS = {
-    "repro.sim.core": frozenset({"_TIMEOUT_POOL", "_EVENT_POOL"}),
+    "repro.sim.core": frozenset({"_TIMEOUT_POOL", "_EVENT_POOL",
+                                 "_CALL_POOL"}),
     "repro.bench.pool": frozenset({"_pool", "_pool_workers",
                                    "_warmup_seconds"}),
+    "repro.units": frozenset({"_NS_CACHE"}),
 }
 
 #: files allowed to read env vars / files from job-reachable code: the

@@ -154,8 +154,10 @@ class _EthernetFrontEnd:
         self.sim = sim
         self.config = config
         self.out = out_stream
-        self.tx = EthernetMac(sim, name="txfpga")
-        self.rx = EthernetMac(sim, name="rxfpga")
+        self.tx = EthernetMac(sim, name="txfpga",
+                              coarsening=config.host.coarsening)
+        self.rx = EthernetMac(sim, name="rxfpga",
+                              coarsening=config.host.coarsening)
         self.tx.connect(self.rx)
         total = config.n_images * config.spec.nbytes
         payload_fn = None
@@ -172,7 +174,8 @@ class _EthernetFrontEnd:
 
         self.source = FrameStreamSource(
             sim, self.tx, total_bytes=total,
-            frame_payload=config.frame_payload, payload_fn=payload_fn)
+            frame_payload=config.frame_payload, payload_fn=payload_fn,
+            coarsening=config.host.coarsening)
 
     def start(self) -> None:
         """Launch transmitter and RX bridge."""

@@ -13,13 +13,17 @@ Unknown flags are errors (argparse), not silently ignored::
     python -m repro.bench --json report.json   # machine-readable rows
     python -m repro.bench --no-cache           # always re-simulate
     python -m repro.bench --clear-cache        # drop .bench_cache/ first
+    python -m repro.bench --coarsening per_frame   # reference fleet path
+    python -m repro.bench --quick --only fleet --profile   # cProfile jobs
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
 import json
 import os
+import pstats
 import sys
 import time
 from pathlib import Path
@@ -64,6 +68,19 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         default=None,
                         help="cache location (default: .bench_cache/ or "
                              "$REPRO_BENCH_CACHE)")
+    parser.add_argument("--coarsening", choices=("train", "per_frame"),
+                        default="train",
+                        help="fleet kernel fast path (train, default) or "
+                             "the per-frame reference path; the report is "
+                             "byte-identical either way")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile the selected jobs (implies --jobs 1 "
+                             "and bypasses the cache); top-20 cumulative "
+                             "to stderr")
+    parser.add_argument("--profile-out", metavar="FILE", type=Path,
+                        default=None,
+                        help="also dump raw cProfile stats to FILE "
+                             "(implies --profile)")
     return parser
 
 
@@ -75,20 +92,39 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(experiment)
         return 0
 
+    profiling = args.profile or args.profile_out is not None
     cache_dir = args.cache_dir if args.cache_dir is not None \
         else default_cache_dir()
     if args.clear_cache and ResultCache.clear(cache_dir):
         print(f"cleared cache at {cache_dir}", file=sys.stderr)
     cache = None
-    if not args.no_cache:
+    if not args.no_cache and not profiling:
         cache = ResultCache(cache_dir, code_fingerprint())
 
-    profile = "quick" if args.quick else "full"
-    plan = build_plan(profile, only=args.only)
+    sizes = "quick" if args.quick else "full"
+    plan = build_plan(sizes, only=args.only, coarsening=args.coarsening)
+    jobs = args.jobs
+    if profiling:
+        # cProfile only sees this process: run serially, skip the cache
+        # so the profile actually contains the simulations.
+        if jobs != 1:
+            print("[--profile: forcing --jobs 1]", file=sys.stderr)
+            jobs = 1
+    echo = lambda message: print(message, file=sys.stderr, flush=True)
     t0 = time.perf_counter()
-    results, stats = execute_plan(
-        plan, jobs=args.jobs, cache=cache,
-        echo=lambda message: print(message, file=sys.stderr, flush=True))
+    if profiling:
+        profiler = cProfile.Profile()
+        profiler.enable()
+        results, stats = execute_plan(plan, jobs=jobs, cache=None, echo=echo)
+        profiler.disable()
+        pstats.Stats(profiler, stream=sys.stderr) \
+            .sort_stats("cumulative").print_stats(20)
+        if args.profile_out is not None:
+            profiler.dump_stats(str(args.profile_out))
+            print(f"[profile stats written to {args.profile_out}]",
+                  file=sys.stderr)
+    else:
+        results, stats = execute_plan(plan, jobs=jobs, cache=cache, echo=echo)
     wall = time.perf_counter() - t0
 
     text, ok = render_report(results)
@@ -98,7 +134,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             json.dumps(results_to_json(results, ok), indent=2) + "\n")
     warmup = last_warmup_seconds()
     warmup_note = "" if warmup is None else f"; pool warmup {warmup:.1f}s"
-    print(f"[{wall:.1f}s wall-clock with --jobs {args.jobs}; "
+    print(f"[{wall:.1f}s wall-clock with --jobs {jobs}; "
           f"{stats.summary()}{warmup_note}]", file=sys.stderr)
     return 0 if ok else 1
 

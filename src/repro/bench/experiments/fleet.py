@@ -47,13 +47,14 @@ _BOTH_TIERS = Band(2.0, 2.0)
 
 
 def fleet_scale_point(n_nodes: int, zipf_skew: float, n_requests: int,
-                      n_objects: int, mean_interarrival_ns: int
-                      ) -> List[ExperimentRow]:
+                      n_objects: int, mean_interarrival_ns: int,
+                      coarsening: str = "train") -> List[ExperimentRow]:
     """One fleet cell: *n_nodes* nodes serving a seeded GET workload."""
     workload = FleetWorkload(
         n_objects=n_objects, zipf_skew=zipf_skew, n_requests=n_requests,
         mean_interarrival_ns=mean_interarrival_ns)
-    result = run_fleet(FleetConfig(n_nodes=n_nodes), workload)
+    result = run_fleet(FleetConfig(n_nodes=n_nodes, coarsening=coarsening),
+                       workload)
     system = f"{n_nodes}n/z{zipf_skew:g}"
     return [
         ExperimentRow("agg_gbps", system, result.agg_gbps, "GB/s"),
@@ -66,9 +67,11 @@ def fleet_scale_point(n_nodes: int, zipf_skew: float, n_requests: int,
     ]
 
 
-def fleet_incast_point(n_senders: int, put_mib: int) -> List[ExperimentRow]:
+def fleet_incast_point(n_senders: int, put_mib: int,
+                       coarsening: str = "train") -> List[ExperimentRow]:
     """Incast onto one node: multi-hop PAUSE, loss-free by construction."""
-    result = run_incast(FleetConfig(n_nodes=1, n_gateways=n_senders),
+    result = run_incast(FleetConfig(n_nodes=1, n_gateways=n_senders,
+                                    coarsening=coarsening),
                         put_bytes=put_mib * MiB)
     system = f"{n_senders}to1"
     paused_tiers = float((result.spine_pause_frames > 0)
@@ -88,17 +91,19 @@ def run_fleet_suite(n_requests: int = 4000, n_objects: int = 2048,
                     scale_interarrival_ns: int = 2000,
                     skew_interarrival_ns: int = 4000,
                     incast_senders: int = 8,
-                    incast_mib: int = 4) -> ExperimentResult:
+                    incast_mib: int = 4,
+                    coarsening: str = "train") -> ExperimentResult:
     """Serial composition of every fleet point (mirrors the other
     ``run_*`` experiment entry points)."""
     result = ExperimentResult("fleet", FLEET_TITLE)
     for n_nodes in FLEET_NODE_COUNTS:
         result.rows.extend(fleet_scale_point(
             n_nodes, FLEET_SCALE_SKEW, n_requests, n_objects,
-            scale_interarrival_ns))
+            scale_interarrival_ns, coarsening=coarsening))
     for skew in FLEET_SKEWS:
         result.rows.extend(fleet_scale_point(
             FLEET_SKEW_NODES, skew, n_requests, n_objects,
-            skew_interarrival_ns))
-    result.rows.extend(fleet_incast_point(incast_senders, incast_mib))
+            skew_interarrival_ns, coarsening=coarsening))
+    result.rows.extend(fleet_incast_point(incast_senders, incast_mib,
+                                          coarsening=coarsening))
     return result

@@ -157,13 +157,17 @@ def _run_ablation_faults_point(rate: float, rand_bytes: int,
 
 
 def _run_fleet_scale_point(n_nodes: int, zipf_skew: float, n_requests: int,
-                           n_objects: int, mean_interarrival_ns: int) -> Any:
+                           n_objects: int, mean_interarrival_ns: int,
+                           coarsening: str = "train") -> Any:
     return rows_to_json(fleet_scale_point(
-        n_nodes, zipf_skew, n_requests, n_objects, mean_interarrival_ns))
+        n_nodes, zipf_skew, n_requests, n_objects, mean_interarrival_ns,
+        coarsening=coarsening))
 
 
-def _run_fleet_incast_point(n_senders: int, put_mib: int) -> Any:
-    return rows_to_json(fleet_incast_point(n_senders, put_mib))
+def _run_fleet_incast_point(n_senders: int, put_mib: int,
+                            coarsening: str = "train") -> Any:
+    return rows_to_json(fleet_incast_point(n_senders, put_mib,
+                                           coarsening=coarsening))
 
 
 def _run_fork_sweep_point(n_branches: int, warm_bytes: int,
@@ -299,15 +303,23 @@ EXPERIMENTS: Tuple[str, ...] = (
 
 
 def build_plan(profile: str = "full",
-               only: Optional[Collection[str]] = None) -> List[Stage]:
+               only: Optional[Collection[str]] = None,
+               coarsening: str = "train") -> List[Stage]:
     """The full job graph in declared order, optionally filtered.
 
     ``only`` keeps the named stages (ids from :data:`EXPERIMENTS`);
     unknown names raise ``ValueError`` listing the vocabulary.
+    ``coarsening`` selects the fleet kernel fast path (``"train"``, the
+    default) or the per-frame reference path (``"per_frame"``); both
+    produce byte-identical reports — the knob only changes wall-clock
+    (and the cache key, since it is part of the job kwargs).
     """
     if profile not in PROFILES:
         raise ValueError(f"unknown profile {profile!r}; "
                          f"choose from {sorted(PROFILES)}")
+    if coarsening not in ("train", "per_frame"):
+        raise ValueError(f"unknown coarsening {coarsening!r}; "
+                         f"choose from ['per_frame', 'train']")
     sizes = PROFILES[profile]
     if only is not None:
         unknown = sorted(set(only) - set(EXPERIMENTS))
@@ -406,17 +418,20 @@ def build_plan(profile: str = "full",
                     n_nodes=n, zipf_skew=FLEET_SCALE_SKEW,
                     n_requests=sizes["fleet_requests"],
                     n_objects=sizes["fleet_objects"],
-                    mean_interarrival_ns=sizes["fleet_scale_gap_ns"])
+                    mean_interarrival_ns=sizes["fleet_scale_gap_ns"],
+                    coarsening=coarsening)
                for n in FLEET_NODE_COUNTS]
               + [_job("fleet", f"skew/z{skew:g}", "fleet_scale_point",
                       n_nodes=FLEET_SKEW_NODES, zipf_skew=skew,
                       n_requests=sizes["fleet_requests"],
                       n_objects=sizes["fleet_objects"],
-                      mean_interarrival_ns=sizes["fleet_skew_gap_ns"])
+                      mean_interarrival_ns=sizes["fleet_skew_gap_ns"],
+                      coarsening=coarsening)
                  for skew in FLEET_SKEWS]
               + [_job("fleet", "incast", "fleet_incast_point",
                       n_senders=sizes["fleet_incast_senders"],
-                      put_mib=sizes["fleet_incast_mib"])],
+                      put_mib=sizes["fleet_incast_mib"],
+                      coarsening=coarsening)],
               _merge_rows("fleet", FLEET_TITLE)),
         Stage("fork sweep", "fork_sweep",
               [_job("fork_sweep", f"storm_x{sizes['fork_branches']}",

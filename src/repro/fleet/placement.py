@@ -47,27 +47,43 @@ class ConsistentHashRing:
         points.sort()
         self._hashes = [h for h, _ in points]
         self._owners = [name for _, name in points]
+        #: key -> spill chain memo.  The chain is a pure function of the
+        #: key and the (immutable) ring, and the hot router asks for the
+        #: same keys over and over (workloads draw from a bounded object
+        #: set), so the crc32 + ring walk is paid once per key.
+        self._chain_cache: Dict[object, Tuple[str, ...]] = {}
 
     def _key_hash(self, key: object) -> int:
         return zlib.crc32(f"key:{key}".encode("utf-8"))
 
-    def chain(self, key: object) -> Iterator[str]:
+    def chain_nodes(self, key: object) -> Tuple[str, ...]:
         """Distinct nodes in ring order starting at *key*'s successor.
 
-        The first yield is the primary owner; later yields are the
+        The first entry is the primary owner; later entries are the
         stable spill-over order for that key.
         """
+        cached = self._chain_cache.get(key)
+        if cached is not None:
+            return cached
         start = bisect.bisect_right(self._hashes, self._key_hash(key))
-        seen = set()
-        for i in range(len(self._owners)):
-            name = self._owners[(start + i) % len(self._owners)]
+        owners = self._owners
+        n = len(owners)
+        seen: List[str] = []
+        for i in range(n):
+            name = owners[(start + i) % n]
             if name not in seen:
-                seen.add(name)
-                yield name
+                seen.append(name)
+        result = tuple(seen)
+        self._chain_cache[key] = result
+        return result
+
+    def chain(self, key: object) -> Iterator[str]:
+        """Iterator form of :meth:`chain_nodes` (historical API)."""
+        return iter(self.chain_nodes(key))
 
     def lookup(self, key: object) -> str:
         """The primary owner of *key*."""
-        return next(self.chain(key))
+        return self.chain_nodes(key)[0]
 
 
 class LoadAwarePlacement:
@@ -90,21 +106,20 @@ class LoadAwarePlacement:
 
     def route(self, key: object) -> str:
         """Choose a node for *key* and account one outstanding stream."""
-        first = None
-        for rank, name in enumerate(self.ring.chain(key)):
-            if first is None:
-                first = name
-            if self.outstanding[name] < self.spill_threshold:
+        nodes = self.ring.chain_nodes(key)
+        outstanding = self.outstanding
+        for rank, name in enumerate(nodes):
+            if outstanding[name] < self.spill_threshold:
                 if rank > 0:
                     self.spilled += 1
-                self.outstanding[name] += 1
+                outstanding[name] += 1
                 return name
         # every node saturated: least-loaded wins, ties by ring order
         self.overflowed += 1
-        name = min(self.ring.chain(key), key=lambda n: self.outstanding[n])
-        if name != first:
+        name = min(nodes, key=lambda n: outstanding[n])
+        if name != nodes[0]:
             self.spilled += 1
-        self.outstanding[name] += 1
+        outstanding[name] += 1
         return name
 
     def release(self, name: str) -> None:

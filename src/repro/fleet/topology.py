@@ -61,8 +61,16 @@ class FleetConfig:
     #: placement: virtual ring points per node + spill-over threshold
     vnodes: int = 32
     spill_threshold: int = 24
+    #: "train" = frame-train fast path on every MAC/switch egress while
+    #: quiescent (byte-identical results, far fewer kernel events);
+    #: "per_frame" = the classic one-event-per-frame reference path.
+    coarsening: str = "train"
 
     def __post_init__(self) -> None:
+        if self.coarsening not in ("train", "per_frame"):
+            raise ConfigError(
+                f"coarsening must be 'train' or 'per_frame', "
+                f"got {self.coarsening!r}")
         if self.n_nodes < 1 or self.nodes_per_leaf < 1:
             raise ConfigError("n_nodes and nodes_per_leaf must be >= 1")
         if self.n_gateways < 0:
@@ -127,7 +135,8 @@ class Fleet:
         self.spine = EthernetSwitch(
             sim, name="spine", n_ports=len(spine_rates),
             buffer_bytes=config.switch_buffer_bytes,
-            egress_frames=config.egress_frames, port_rates=spine_rates)
+            egress_frames=config.egress_frames, port_rates=spine_rates,
+            coarsening=config.coarsening)
 
         self.leaves: List[EthernetSwitch] = []
         self.nodes: List[FleetNode] = []
@@ -137,12 +146,14 @@ class Fleet:
             switch = EthernetSwitch(
                 sim, name=f"leaf{leaf}", n_ports=len(rates),
                 buffer_bytes=config.switch_buffer_bytes,
-                egress_frames=config.egress_frames, port_rates=rates)
+                egress_frames=config.egress_frames, port_rates=rates,
+                coarsening=config.coarsening)
             switch.ports[0].connect(self.spine.ports[leaf])
             switch.set_default_route(0)  # responses/acks go spine-ward
             for slot, name in enumerate(members):
                 mac = EthernetMac(sim, name=f"{name}.nic",
-                                  rate_gbps=config.link_gbps)
+                                  rate_gbps=config.link_gbps,
+                                  coarsening=config.coarsening)
                 mac.connect(switch.ports[1 + slot])
                 switch.add_route(name, 1 + slot)
                 self.spine.add_route(name, leaf)
@@ -151,7 +162,8 @@ class Fleet:
                     base_latency_ns=config.base_latency_ns,
                     queue_depth=config.queue_depth,
                     frame_payload=config.frame_payload,
-                    read_chunk_bytes=config.read_chunk_bytes))
+                    read_chunk_bytes=config.read_chunk_bytes,
+                    coarsening=config.coarsening))
             self.leaves.append(switch)
 
         ring = ConsistentHashRing(node_names, vnodes=config.vnodes)
@@ -161,12 +173,14 @@ class Fleet:
         self.gateways: List[ClientGateway] = []
         for g, name in enumerate(gw_names):
             mac = EthernetMac(sim, name=f"{name}.nic",
-                              rate_gbps=config.link_gbps)
+                              rate_gbps=config.link_gbps,
+                              coarsening=config.coarsening)
             mac.connect(self.spine.ports[len(leaf_nodes) + g])
             self.spine.add_route(name, len(leaf_nodes) + g)
             gateway = ClientGateway(sim, name, mac,
                                     placement=self.placement,
-                                    frame_payload=config.frame_payload)
+                                    frame_payload=config.frame_payload,
+                                    coarsening=config.coarsening)
             gateway.meter = self.meter
             self.gateways.append(gateway)
 

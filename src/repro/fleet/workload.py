@@ -84,7 +84,7 @@ class FleetWorkload:
             raise ConfigError("seed must be >= 0")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Request:
     """One client stream: issue time, object asked for, response size."""
 

@@ -26,7 +26,7 @@ from ..units import KiB, ns_for_bytes
 __all__ = ["StreamFlit", "AxiStream"]
 
 
-@dataclass
+@dataclass(slots=True)
 class StreamFlit:
     """One stream transfer: optional payload bytes, size, TLAST, side-band."""
 

@@ -1,7 +1,7 @@
 """Discrete-event simulation kernel (clock, processes, resources, stats)."""
 
 from .core import (CheckpointInfo, Condition, Event, Interrupt, Process,
-                   Simulator, Timeout, drain_freelists)
+                   Simulator, Timeout, TrainSchedule, drain_freelists)
 from .resources import Resource, Store, TokenBucket
 from .snapshot import (Checkpoint, ScenarioEngine, fork_available,
                        fork_scenarios)
@@ -10,7 +10,7 @@ from .trace import GLOBAL_TRACER, TraceRecord, Tracer
 
 __all__ = [
     "Condition", "Event", "Interrupt", "Process", "Simulator", "Timeout",
-    "CheckpointInfo", "drain_freelists",
+    "CheckpointInfo", "TrainSchedule", "drain_freelists",
     "Checkpoint", "ScenarioEngine", "fork_available", "fork_scenarios",
     "Resource", "Store", "TokenBucket",
     "BandwidthMeter", "LatencyCollector", "Summary", "summarize",

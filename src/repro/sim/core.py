@@ -20,9 +20,10 @@ waiting on one event — without changing observable scheduling semantics:
   current time* (the dominant class — ``succeed()``, resource grants,
   finished processes) go into a plain FIFO deque whose append order *is*
   sequence order, O(1) both ends and no tuple allocation; future events
-  go into per-timestamp buckets (``dict`` keyed by absolute time) with a
-  small int-heap over the distinct pending timestamps as the ordering
-  fallback.  The legacy global binary heap is retained bit-for-bit as
+  go into a ``(when, seq, event)`` min-heap (sequence order within one
+  timestamp is insertion order, exactly like the bucket scheme this
+  replaced — sparse nanosecond timelines made per-timestamp dict buckets
+  pure overhead).  The legacy global binary heap is retained bit-for-bit as
   ``Simulator(scheduler="heap")`` — the reference implementation the
   equivalence property tests run against;
 * hot :class:`Timeout`/:class:`Event` instances are interned in
@@ -71,6 +72,7 @@ __all__ = [
     "Interrupt",
     "Simulator",
     "CheckpointInfo",
+    "TrainSchedule",
     "drain_freelists",
 ]
 
@@ -86,13 +88,14 @@ _PENDING = object()
 #: into a recycled event.
 _TIMEOUT_POOL: List["Timeout"] = []
 _EVENT_POOL: List["Event"] = []
-#: upper bound on either pool, so a burst of a million timeouts does not
+_CALL_POOL: List["_Call"] = []
+#: upper bound on any pool, so a burst of a million timeouts does not
 #: pin a million dead objects for the rest of the process lifetime.
 _POOL_CAP = 4096
 
 
 def drain_freelists() -> Tuple[int, int]:
-    """Empty both event freelists; returns the (timeout, event) counts dropped.
+    """Empty the event freelists; returns the (timeout, event) counts dropped.
 
     Pool membership never affects results, so draining is safe at any
     point.  :meth:`Simulator.quiesce` calls this before a checkpoint so a
@@ -103,6 +106,7 @@ def drain_freelists() -> Tuple[int, int]:
     counts = (len(_TIMEOUT_POOL), len(_EVENT_POOL))
     _TIMEOUT_POOL.clear()
     _EVENT_POOL.clear()
+    _CALL_POOL.clear()
     return counts
 
 
@@ -255,18 +259,7 @@ class Timeout(Event):
         sim._seq += 1
         if sim._calendar:
             if delay:
-                when = sim._now + delay
-                buckets = sim._buckets
-                bucket = buckets.get(when)
-                if bucket is None:
-                    # single-event bucket: stored bare, promoted to a list
-                    # only on collision (most timestamps carry one event)
-                    buckets[when] = self
-                    heappush(sim._times, when)
-                elif type(bucket) is list:
-                    bucket.append(self)
-                else:
-                    buckets[when] = [bucket, self]
+                heappush(sim._times, (sim._now + delay, sim._seq, self))
             else:
                 sim._ready.append(self)
         else:
@@ -483,6 +476,88 @@ class Condition(Event):
             ])
 
 
+class TrainSchedule(Event):
+    """A self-rescheduling tick chain: ``fn(i)`` fires at evenly spaced times.
+
+    The bulk-schedule primitive behind the frame-train fast path
+    (DESIGN.md §11): *count* evenly spaced completions ride **one** live
+    kernel object instead of *count* timeout/process pairs.  Tick *i*
+    invokes ``fn(i)`` at ``t0 + first_delay + i * spacing``; after the
+    last tick the chain goes quiet.  :meth:`truncate` shortens a pending
+    chain (ticks already fired are never un-fired) — the fast path uses
+    it to split a train at the next frame boundary when a disqualifier
+    arrives.
+
+    Unlike every other event, a chain is re-inserted into the scheduler
+    once per tick and is never *triggered*: it cannot be yielded on.
+    """
+
+    __slots__ = ("count", "spacing", "fn", "index")
+
+    def __init__(self, sim: "Simulator", count: int, first_delay: int,
+                 spacing: int, fn: Callable[[int], None]) -> None:
+        if type(count) is not int or count < 1:
+            raise ValueError(f"train count must be a positive int, got "
+                             f"{count!r}")
+        if type(spacing) is not int:
+            spacing = operator.index(spacing)
+        if type(first_delay) is not int:
+            first_delay = operator.index(first_delay)
+        if first_delay < 0 or (spacing < 1 and count > 1):
+            raise ValueError(
+                f"need first_delay >= 0 and spacing >= 1, got "
+                f"({first_delay}, {spacing})")
+        super().__init__(sim)
+        self.count = count
+        self.spacing = spacing
+        self.fn = fn
+        self.index = 0
+        sim._schedule(self, first_delay)
+
+    def truncate(self, count: int) -> None:
+        """Clamp the chain to *count* ticks total (never below those fired)."""
+        if count < self.count:
+            self.count = max(count, self.index)
+
+    def _process_callbacks(self) -> None:
+        i = self.index
+        if i >= self.count:  # truncated under the pending tick: go quiet
+            self._processed = True
+            return
+        self.index = i + 1
+        self.fn(i)
+        if self.index < self.count:
+            self.sim._schedule(self, self.spacing)
+        else:
+            self._processed = True
+
+
+class _Call(Event):
+    """One-shot deferred call: ``fn(arg)`` at ``now + delay``.
+
+    The irregular-spacing sibling of :class:`TrainSchedule` (switch
+    egress chains re-arm themselves with whatever the next frame's
+    serialization time is).  Never *triggered*: cannot be yielded on.
+    """
+
+    __slots__ = ("fn", "arg")
+
+    def __init__(self, sim: "Simulator", delay: int, fn: Callable[[Any], None],
+                 arg: Any) -> None:
+        if type(delay) is not int:
+            delay = operator.index(delay)
+        if delay < 0:
+            raise ValueError(f"negative call delay: {delay}")
+        super().__init__(sim)
+        self.fn = fn
+        self.arg = arg
+        sim._schedule(self, delay)
+
+    def _process_callbacks(self) -> None:
+        self._processed = True
+        self.fn(self.arg)
+
+
 def _scheduled_event(sim: "Simulator", value: Any) -> Event:
     """A freelist-recycled event already succeeded with *value* and scheduled.
 
@@ -549,10 +624,9 @@ class Simulator:
         self._seq: int = 0
         #: calendar variant: events scheduled at the current time, FIFO.
         self._ready: Deque[Event] = deque()
-        #: calendar variant: absolute future time -> events in seq order.
-        self._buckets: Dict[int, List[Event]] = {}
-        #: calendar variant: min-heap of the distinct keys of _buckets.
-        self._times: List[int] = []
+        #: calendar variant: min-heap of future (when, seq, event)
+        #: entries; seq order within a timestamp == insertion order.
+        self._times: List[Tuple[int, int, Event]] = []
         #: heap variant: the legacy (when, seq, event) binary heap.
         self._heap: List[Tuple[int, int, Event]] = []
         self._crashed: List[Tuple[Process, BaseException]] = []
@@ -603,16 +677,7 @@ class Simulator:
         self._seq += 1
         if self._calendar:
             if delay:
-                when = self._now + delay
-                buckets = self._buckets
-                bucket = buckets.get(when)
-                if bucket is None:
-                    buckets[when] = t
-                    heappush(self._times, when)
-                elif type(bucket) is list:
-                    bucket.append(t)
-                else:
-                    buckets[when] = [bucket, t]
+                heappush(self._times, (self._now + delay, self._seq, t))
             else:
                 self._ready.append(t)
         else:
@@ -622,6 +687,52 @@ class Simulator:
     def process(self, gen: Generator, name: str = "") -> Process:
         """Register *gen* as a process starting at the current time."""
         return Process(self, gen, name=name)
+
+    def schedule_train(self, count: int, first_delay: int, spacing: int,
+                       fn: Callable[[int], None]) -> TrainSchedule:
+        """Bulk-schedule *count* evenly spaced completions on one live event.
+
+        Tick *i* invokes ``fn(i)`` at ``now + first_delay + i * spacing``.
+        The returned handle's :meth:`TrainSchedule.truncate` shortens the
+        chain — how the frame-train fast path splits a train at the next
+        frame boundary when a disqualifier arrives (DESIGN.md §11).
+        """
+        return TrainSchedule(self, count, first_delay, spacing, fn)
+
+    def schedule_call(self, delay: int, fn: Callable[[Any], None],
+                      arg: Any = None) -> Event:
+        """Run ``fn(arg)`` *delay* ns from now, with no process machinery.
+
+        The irregular-spacing companion of :meth:`schedule_train` (used
+        by switch egress chains, whose frame sizes vary tick to tick, and
+        by the MAC/ingress fast paths for per-frame deliveries).  The
+        returned event is not awaitable.  Instances are recycled through
+        a module freelist like :meth:`timeout`'s.
+        """
+        pool = _CALL_POOL
+        if not pool:
+            return _Call(self, delay, fn, arg)
+        if type(delay) is not int:
+            delay = operator.index(delay)
+        if delay < 0:
+            raise ValueError(f"negative call delay: {delay}")
+        c = pool.pop()
+        c.sim = self
+        # _value/_exc are not reinitialized: a _Call is never triggered,
+        # so nothing reads them between recycles (snapshots are fork-based
+        # and never introspect pending events).
+        c._processed = False
+        c.fn = fn
+        c.arg = arg
+        self._seq += 1
+        if self._calendar:
+            if delay:
+                heappush(self._times, (self._now + delay, self._seq, c))
+            else:
+                self._ready.append(c)
+        else:
+            heappush(self._heap, (self._now + delay, self._seq, c))
+        return c
 
     def all_of(self, events: Iterable[Event]) -> Condition:
         """Event that fires once every event in *events* has fired."""
@@ -639,15 +750,7 @@ class Simulator:
                 delay = operator.index(delay)
             when = self._now + delay
             if self._calendar:
-                buckets = self._buckets
-                bucket = buckets.get(when)
-                if bucket is None:
-                    buckets[when] = event
-                    heappush(self._times, when)
-                elif type(bucket) is list:
-                    bucket.append(event)
-                else:
-                    buckets[when] = [bucket, event]
+                heappush(self._times, (when, self._seq, event))
             else:
                 heappush(self._heap, (when, self._seq, event))
         elif self._calendar:
@@ -661,7 +764,7 @@ class Simulator:
             if self._ready:
                 return self._now
             if self._times:
-                return self._times[0]
+                return self._times[0][0]
             return None
         heap = self._heap
         return heap[0][0] if heap else None
@@ -670,15 +773,16 @@ class Simulator:
         """Process the next scheduled event."""
         if self._calendar:
             ready = self._ready
-            if not ready:
-                when = heappop(self._times)
+            if ready:
+                event = ready.popleft()
+            else:
+                times = self._times
+                when, _seq, event = heappop(times)
                 self._now = when
-                bucket = self._buckets.pop(when)
-                if type(bucket) is list:
-                    ready.extend(bucket)
-                else:
-                    ready.append(bucket)
-            event = ready.popleft()
+                # move the rest of this timestamp into ready so delay-0
+                # events scheduled while processing land *after* it
+                while times and times[0][0] == when:
+                    ready.append(heappop(times)[2])
             when = self._now
         else:
             when, _seq, event = heappop(self._heap)
@@ -760,27 +864,40 @@ class Simulator:
             ready = self._ready
             times = self._times
             popleft = ready.popleft
-            extend = ready.extend
-            pop_bucket = self._buckets.pop
+            append_ready = ready.append
             tpool = _TIMEOUT_POOL
             epool = _EVENT_POOL
+            cpool = _CALL_POOL
             while True:
                 if ready:
                     event = popleft()
                 elif times:
-                    when = heappop(times)
+                    # unpacking the heap tuple drops its event reference,
+                    # so the freelist recycle below still sees refcount 2
+                    when, _seq, event = heappop(times)
                     self._now = when
-                    # single-event buckets are stored bare; rebinding
-                    # through `event` keeps the refcount at 2 so the
-                    # freelist recycle below still fires for them
-                    event = pop_bucket(when)
-                    if type(event) is list:
-                        extend(event)
-                        event = popleft()
+                    # the rest of this timestamp moves to ready now, so a
+                    # delay-0 event scheduled while processing `event`
+                    # lands after its same-timestamp peers (exactly the
+                    # bucket semantics this heap replaced)
+                    while times and times[0][0] == when:
+                        append_ready(heappop(times)[2])
                 else:
                     break
                 cls = event.__class__
-                if cls is Timeout or cls is Event:
+                if cls is _Call:
+                    # Deferred-call leaf: no waiter/callbacks by
+                    # construction, so skip the virtual dispatch and
+                    # recycle the corpse like the Timeout path below.
+                    event._processed = True
+                    event.fn(event.arg)
+                    if getrefcount(event) == 2:
+                        event.sim = None  # type: ignore[assignment]
+                        event.fn = None  # type: ignore[assignment]
+                        event.arg = None
+                        if len(cpool) < _POOL_CAP:
+                            cpool.append(event)  # type: ignore[arg-type]
+                elif cls is Timeout or cls is Event:
                     if event._value is _PENDING:
                         # only a pending Timeout reaches the queue untriggered
                         event._value = event._timeout_value  # type: ignore[attr-defined]
@@ -875,26 +992,37 @@ class Simulator:
         ready = self._ready
         times = self._times
         popleft = ready.popleft
-        extend = ready.extend
-        pop_bucket = self._buckets.pop
         tpool = _TIMEOUT_POOL
         epool = _EVENT_POOL
+        cpool = _CALL_POOL
         while event._value is _PENDING:
             if ready:
                 popped = popleft()
             elif times:
-                when = heappop(times)
+                # tuple unpack drops the heap's event reference, keeping
+                # the freelist recycle's refcount test at 2
+                when, _seq, popped = heappop(times)
                 self._now = when
-                # bare single-event bucket: rebind through `popped` so the
-                # freelist recycle's refcount test still sees count 2
-                popped = pop_bucket(when)
-                if type(popped) is list:
-                    extend(popped)
-                    popped = popleft()
+                # same-timestamp peers move to ready before processing
+                # (see run(): preserves the replaced bucket semantics)
+                while times and times[0][0] == when:
+                    ready.append(heappop(times)[2])
             else:
                 break
             cls = popped.__class__
-            if cls is Timeout or cls is Event:
+            if cls is _Call:
+                # see run(): deferred-call leaf, recycled after firing
+                popped._processed = True
+                popped.fn(popped.arg)
+                if getrefcount(popped) == 2:
+                    popped.sim = None  # type: ignore[assignment]
+                    popped._value = None
+                    popped._exc = None
+                    popped.fn = None  # type: ignore[assignment]
+                    popped.arg = None
+                    if len(cpool) < _POOL_CAP:
+                        cpool.append(popped)  # type: ignore[arg-type]
+            elif cls is Timeout or cls is Event:
                 if popped._value is _PENDING:
                     popped._value = popped._timeout_value  # type: ignore[attr-defined]
                 popped._processed = True

@@ -136,6 +136,9 @@ class Resource:
         self._waiters: Deque[Event] = deque()
         #: single registered contention watcher (see :meth:`watch_contention`)
         self._contention: Optional[Event] = None
+        #: single registered contention callback (see
+        #: :meth:`watch_contention_fn`) — the event-free sibling
+        self._contention_fn = None
 
     @property
     def in_use(self) -> int:
@@ -168,7 +171,28 @@ class Resource:
         if watcher is not None:
             self._contention = None
             watcher.succeed()
+        fn = self._contention_fn
+        if fn is not None:
+            self._contention_fn = None
+            fn()
         return ev
+
+    def try_acquire(self) -> bool:
+        """Take a free slot synchronously; False when none is free.
+
+        Zero kernel events.  Skipping the scheduled grant means the
+        caller proceeds a scheduler slot earlier than :meth:`acquire`
+        would at the same timestamp, so this belongs to coarsened fast
+        paths only (DESIGN.md §11) — the per-frame reference machinery
+        must keep using :meth:`acquire`.  FIFO fairness is unaffected:
+        a free slot means nobody is queued, and a same-timestamp
+        competitor arriving later in the slot order queues behind the
+        taken slot exactly as it would behind a scheduled grant.
+        """
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            return True
+        return False
 
     def release(self) -> None:
         """Return a slot; the oldest waiter (if any) is granted immediately."""
@@ -201,6 +225,24 @@ class Resource:
         """Deregister *ev* if it is still the active contention watcher."""
         if self._contention is ev:
             self._contention = None
+
+    def watch_contention_fn(self, fn) -> None:
+        """Register *fn* to run once when the next acquire queues.
+
+        The allocation-free sibling of :meth:`watch_contention` for hot
+        callers (the MAC frame-train): no event, no callback list — the
+        resource invokes *fn* synchronously at the contention instant,
+        exactly where the watcher event would have been succeeded.  Same
+        single-slot discipline: registering replaces any previous fn;
+        clear with :meth:`unwatch_contention_fn`.  The caller must check
+        for already-queued waiters itself before registering.
+        """
+        self._contention_fn = fn
+
+    def unwatch_contention_fn(self, fn) -> None:
+        """Deregister *fn* if it is still the active contention callback."""
+        if self._contention_fn is fn:
+            self._contention_fn = None
 
 
 class TokenBucket:

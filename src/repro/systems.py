@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from .errors import ConfigError
 from .faults.plan import FaultConfig, FaultPlan
 from .mem.base import AddressRange
 from .mem.hostmem import HostDram, PinnedAllocator
@@ -45,6 +46,16 @@ class HostSystemConfig:
     #: fault injection + recovery policy (repro.faults); None — or a config
     #: with every rate at zero — leaves the system entirely fault-free
     faults: Optional[FaultConfig] = None
+    #: Ethernet transfer coarsening for models driven from this config:
+    #: "train" = frame-train fast path (byte-identical, fewer events),
+    #: "per_frame" = the classic reference path (DESIGN.md §11)
+    coarsening: str = "train"
+
+    def __post_init__(self) -> None:
+        if self.coarsening not in ("train", "per_frame"):
+            raise ConfigError(
+                f"coarsening must be 'train' or 'per_frame', "
+                f"got {self.coarsening!r}")
 
     def with_profile(self, profile: SsdPerfProfile) -> "HostSystemConfig":
         """Copy of this config with a different SSD perf profile."""

@@ -46,6 +46,14 @@ SEC = 1_000_000_000
 PAGE = 4 * KiB
 
 
+#: memo for :func:`ns_for_bytes` — a pure function on the hot TX path
+#: (every frame boundary recomputes its serialization delay, but frame
+#: sizes and link rates come from tiny sets).  Bounded; per-process
+#: scratch only, so process-pool workers each warming their own copy is
+#: the design (snacclint SIM008 allowlist).
+_NS_CACHE: dict = {}
+
+
 def ns_for_bytes(nbytes: int, gbps: float) -> int:
     """Serialization delay in ns for *nbytes* at *gbps* decimal GB/s.
 
@@ -54,12 +62,18 @@ def ns_for_bytes(nbytes: int, gbps: float) -> int:
     >>> ns_for_bytes(4096, 4.096)
     1000
     """
+    ns = _NS_CACHE.get((nbytes, gbps))
+    if ns is not None:
+        return ns
     if nbytes < 0:
         raise ValueError(f"nbytes must be >= 0, got {nbytes}")
     if gbps <= 0:
         raise ValueError(f"bandwidth must be > 0, got {gbps}")
     # ns = bytes / (GB/s) * 1e9 / 1e9 = bytes / gbps  (since 1 GB = 1e9 B)
-    return -(-nbytes * SEC // int(gbps * SEC))
+    ns = -(-nbytes * SEC // int(gbps * SEC))
+    if len(_NS_CACHE) < 65536:
+        _NS_CACHE[(nbytes, gbps)] = ns
+    return ns
 
 
 def ns_ceil(duration_ns: float) -> int:

@@ -132,3 +132,32 @@ class TestRowSerialization:
     def test_round_trip_without_band(self):
         row = ExperimentRow("s", "sys", 42, "frames")
         assert ExperimentRow.from_json(row.to_json()) == row
+
+
+class TestCoarseningPlan:
+    def test_coarsening_reaches_only_fleet_jobs(self):
+        plan = build_plan("tiny", coarsening="per_frame")
+        for stage in plan:
+            for spec in stage.jobs:
+                kwargs = spec.kwargs_dict()
+                if stage.experiment == "fleet":
+                    assert kwargs["coarsening"] == "per_frame", spec.label
+                else:
+                    assert "coarsening" not in kwargs, spec.label
+
+    def test_default_plan_uses_train(self):
+        plan = build_plan("tiny", only={"fleet"})
+        for spec in plan[0].jobs:
+            assert spec.kwargs_dict()["coarsening"] == "train"
+
+    def test_unknown_coarsening_rejected(self):
+        with pytest.raises(ValueError, match="unknown coarsening"):
+            build_plan("tiny", coarsening="warp")
+
+    def test_modes_render_identical_tiny_fleet_reports(self):
+        texts = {}
+        for mode in ("train", "per_frame"):
+            results, _ = execute_plan(
+                build_plan("tiny", only={"fleet"}, coarsening=mode))
+            texts[mode], _ = render_report(results)
+        assert texts["train"] == texts["per_frame"]

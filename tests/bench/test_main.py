@@ -83,3 +83,57 @@ class TestMainRuns:
         assert doc["ok"] is True
         assert doc["results"][0]["experiment"] == "table1"
         assert doc["results"][0]["rows"], "rows must be populated"
+
+
+class TestCoarseningFlag:
+    def test_invalid_coarsening_is_an_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--coarsening", "warp"])
+        assert exc.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_default_is_train(self):
+        args = build_arg_parser().parse_args([])
+        assert args.coarsening == "train"
+        assert not args.profile and args.profile_out is None
+
+    def test_modes_share_non_fleet_cache_keys(self, capsys, tmp_path):
+        # both modes over one cache: the second run may only re-simulate
+        # the fleet jobs (coarsening is part of the fleet cache key only)
+        cache = str(tmp_path / "cache")
+        argv = ["--quick", "--only", "table1", "--jobs", "1",
+                "--cache-dir", cache]
+        assert main(argv + ["--coarsening", "train"]) == 0
+        first = capsys.readouterr()
+        assert main(argv + ["--coarsening", "per_frame"]) == 0
+        second = capsys.readouterr()
+        assert first.out == second.out
+        assert "3 cache hit(s)" in second.err
+
+
+class TestProfileFlag:
+    def test_profile_prints_cumulative_stats(self, capsys, tmp_path):
+        code = main(["--only", "table1", "--profile",
+                     "--cache-dir", str(tmp_path / "cache")])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "cumulative" in captured.err
+        assert "ALL PAPER BANDS HIT" in captured.out
+
+    def test_profile_out_writes_stats_file(self, capsys, tmp_path):
+        out = tmp_path / "bench.prof"
+        code = main(["--only", "table1", "--profile-out", str(out),
+                     "--cache-dir", str(tmp_path / "cache")])
+        capsys.readouterr()
+        assert code == 0
+        import pstats
+        stats = pstats.Stats(str(out))
+        assert stats.total_calls > 0
+
+    def test_profile_forces_serial_jobs(self, capsys, tmp_path):
+        code = main(["--only", "table1", "--profile", "--jobs", "4",
+                     "--cache-dir", str(tmp_path / "cache")])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "forcing --jobs 1" in captured.err
+        assert "--jobs 1" in captured.err.splitlines()[-1]

@@ -216,3 +216,59 @@ class TestCommittedBaseline:
             (REPO_ROOT / "BENCH_sim_kernel.json").read_text())
         for entry in committed["parallel_runner"]["sweep"]:
             assert isinstance(entry["warmup_seconds"], float)
+
+
+def doc_with_fleet(host_cores=4, speedup=3.5, identical=True):
+    """A schema-5 doc whose fleet_coarsening section is fully populated."""
+    d = doc(host_cores, 2.5)
+    d["experiments"] = {"fig4a_seq_16MiB": {"seconds": 1.0}}
+    d["fleet_coarsening"] = {
+        "profile": "quick", "members": ["scale/4n", "incast"],
+        "repeats": perf.COARSEN_REPEATS, "host_cores": host_cores,
+        "train_seconds": 1.0, "per_frame_seconds": speedup,
+        "speedup": speedup, "identical": identical,
+    }
+    return d
+
+
+class TestCoarsenGateVerdict:
+    def test_threshold_is_inclusive(self):
+        assert perf.coarsen_gate_verdict(
+            perf.COARSEN_GATE_MIN_RATIO, True) is True
+        assert perf.coarsen_gate_verdict(
+            perf.COARSEN_GATE_MIN_RATIO - 0.01, True) is False
+
+    def test_equivalence_break_fails_at_any_speedup(self):
+        assert perf.coarsen_gate_verdict(100.0, False) is False
+
+    def test_no_host_exemption(self):
+        # unlike the parallel gate there is no None case: both halves of
+        # the ratio come from the same host, so the gate always applies
+        assert perf.coarsen_gate_verdict(0.5, True) is False
+
+
+class TestFleetCoarseningBaseline:
+    def test_healthy_fleet_section_validates(self):
+        d = doc_with_fleet()
+        assert perf.validate_baseline(d) is None
+        assert perf.baseline_contradiction(d) is None
+
+    def test_missing_fleet_section_is_stale(self):
+        d = doc_with_fleet()
+        del d["fleet_coarsening"]
+        assert "fleet_coarsening" in perf.validate_baseline(d)
+
+    def test_sub_gate_speedup_contradicts(self):
+        d = doc_with_fleet(speedup=2.4)
+        assert "2.40x" in perf.baseline_contradiction(d)
+
+    def test_non_identical_contradicts(self):
+        d = doc_with_fleet(identical=False)
+        assert "byte-identical" in perf.baseline_contradiction(d)
+
+    def test_committed_baseline_records_passing_coarsening(self):
+        committed = json.loads(
+            (REPO_ROOT / "BENCH_sim_kernel.json").read_text())
+        fleet = committed["fleet_coarsening"]
+        assert fleet["identical"] is True
+        assert perf.coarsen_gate_verdict(fleet["speedup"], True) is True

@@ -303,3 +303,50 @@ class TestFrameStreamSource:
             FrameStreamSource(sim, a, total_bytes=0)
         with pytest.raises(ConfigError):
             FrameStreamSource(sim, a, total_bytes=10, frame_payload=0)
+
+
+class TestFrameSlots:
+    """slots=True on the hot train-path dataclasses must not change
+    construction semantics: meta and PAUSE validation round-trip exactly
+    as before, and the per-instance __dict__ is actually gone."""
+
+    def test_no_instance_dict(self):
+        f = EthernetFrame(payload_bytes=100)
+        assert not hasattr(f, "__dict__")
+        with pytest.raises(AttributeError):
+            f.unknown_attribute = 1
+
+    def test_meta_round_trips(self):
+        meta = {"stream": 7, "kind": "resp", "last": True}
+        f = EthernetFrame(payload_bytes=8192, meta=meta)
+        assert f.meta is meta
+        assert f.meta["stream"] == 7
+        # default meta is a fresh dict per instance, not shared
+        g, h = EthernetFrame(payload_bytes=1), EthernetFrame(payload_bytes=1)
+        g.meta["x"] = 1
+        assert h.meta == {}
+
+    def test_pause_validation_round_trips(self):
+        p = pause_frame(0xFFFF)
+        assert p.is_pause and p.pause_quanta == 0xFFFF
+        assert pause_frame(0).pause_quanta == 0
+        with pytest.raises(EthernetError):
+            EthernetFrame(payload_bytes=100, ethertype=0x8808)
+
+    def test_payload_and_data_validation_round_trips(self):
+        with pytest.raises(EthernetError):
+            EthernetFrame(payload_bytes=0)
+        with pytest.raises(EthernetError):
+            EthernetFrame(payload_bytes=9001)
+        with pytest.raises(EthernetError):
+            EthernetFrame(payload_bytes=8,
+                          data=np.zeros(4, dtype=np.uint8))
+
+    def test_other_hot_dataclasses_are_slotted(self):
+        from repro.fleet.workload import Request
+        from repro.fpga.axi import StreamFlit
+        flit = StreamFlit(nbytes=64, meta={"tag": 3})
+        assert not hasattr(flit, "__dict__")
+        assert flit.meta["tag"] == 3
+        req = Request(issue_ns=0, stream=1, object_id=2, size_bytes=3)
+        assert not hasattr(req, "__dict__")

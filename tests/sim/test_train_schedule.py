@@ -1,0 +1,186 @@
+"""Kernel primitives behind the frame-train fast path.
+
+:class:`TrainSchedule` (one live event per K evenly spaced ticks),
+``schedule_call`` (pooled one-shot deferred calls), ``try_acquire``
+(the synchronous zero-event grant), and the contention-callback hook —
+the four pieces DESIGN.md §11 composes into O(1)-event transfers.
+"""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.core import _CALL_POOL, drain_freelists
+from repro.sim.resources import Resource
+
+
+class TestTrainSchedule:
+    def test_exact_tick_times(self, sim):
+        ticks = []
+        sim.schedule_train(4, 100, 30, lambda i: ticks.append((sim.now, i)))
+        sim.run()
+        assert ticks == [(100, 0), (130, 1), (160, 2), (190, 3)]
+
+    def test_truncate_pending_tail(self, sim):
+        ticks = []
+        handle = sim.schedule_train(10, 50, 50,
+                                    lambda i: ticks.append(sim.now))
+
+        def splitter():
+            yield sim.timeout(160)  # 3 ticks fired (50, 100, 150)
+            handle.truncate(5)
+
+        _ = sim.process(splitter())
+        sim.run()
+        assert ticks == [50, 100, 150, 200, 250]
+
+    def test_truncate_never_unfires(self, sim):
+        ticks = []
+        handle = sim.schedule_train(6, 10, 10,
+                                    lambda i: ticks.append(sim.now))
+
+        def splitter():
+            yield sim.timeout(35)  # 3 ticks fired
+            handle.truncate(1)     # below index: clamps to fired count
+
+        _ = sim.process(splitter())
+        sim.run()
+        assert ticks == [10, 20, 30]
+        assert handle.count == 3
+
+    def test_truncate_at_fired_count_is_noop_boundary(self, sim):
+        # truncating exactly at the fired count stops the pending tick:
+        # the m == k boundary of a train split
+        ticks = []
+        handle = sim.schedule_train(5, 10, 10,
+                                    lambda i: ticks.append(sim.now))
+
+        def splitter():
+            yield sim.timeout(20)
+            handle.truncate(2)
+
+        _ = sim.process(splitter())
+        sim.run()
+        assert ticks == [10, 20]
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            sim.schedule_train(0, 10, 10, lambda i: None)
+        with pytest.raises(ValueError):
+            sim.schedule_train(3, -1, 10, lambda i: None)
+        with pytest.raises(ValueError):
+            sim.schedule_train(3, 10, 0, lambda i: None)
+        # spacing is irrelevant for a single tick
+        sim.schedule_train(1, 10, 0, lambda i: None)
+        sim.run()
+
+
+class TestScheduleCall:
+    def test_exact_fire_time_and_arg(self, sim):
+        fired = []
+        sim.schedule_call(250, lambda arg: fired.append((sim.now, arg)),
+                          "payload")
+        sim.run()
+        assert fired == [(250, "payload")]
+
+    def test_negative_delay_rejected(self):
+        drain_freelists()
+        sim = Simulator()
+        # empty pool: the fresh-allocation branch validates
+        with pytest.raises(ValueError):
+            sim.schedule_call(-1, lambda arg: None)
+        sim.schedule_call(1, lambda arg: None)
+        sim.run()
+        assert _CALL_POOL, "expected a recycled _Call"
+        # non-empty pool: the recycling branch validates too
+        with pytest.raises(ValueError):
+            sim.schedule_call(-5, lambda arg: None)
+        drain_freelists()
+
+    def test_pool_recycling(self):
+        drain_freelists()
+        sim = Simulator()
+        sim.schedule_call(10, lambda arg: None)
+        sim.run()
+        assert len(_CALL_POOL) == 1
+        recycled = _CALL_POOL[-1]
+        fired = []
+        sim2 = Simulator()
+        ev = sim2.schedule_call(5, lambda arg: fired.append(arg), 42)
+        assert ev is recycled, "pooled _Call was not reused"
+        sim2.run()
+        assert fired == [42]
+
+
+class TestTryAcquire:
+    def test_sync_grant_and_exhaustion(self, sim):
+        res = Resource(sim, capacity=2)
+        assert res.try_acquire() is True
+        assert res.try_acquire() is True
+        assert res.try_acquire() is False
+        assert res.in_use == 2
+        res.release()
+        assert res.try_acquire() is True
+
+    def test_release_wakes_queued_waiter(self, sim):
+        res = Resource(sim, capacity=1)
+        granted = []
+
+        def holder():
+            assert res.try_acquire()
+            yield sim.timeout(100)
+            res.release()
+
+        def waiter():
+            yield sim.timeout(1)
+            yield res.acquire()
+            granted.append(sim.now)
+            res.release()
+
+        _ = sim.process(holder())
+        _ = sim.process(waiter())
+        sim.run()
+        assert granted == [100]
+
+
+class TestWatchContentionFn:
+    def test_fires_synchronously_on_queueing_acquire(self, sim):
+        res = Resource(sim, capacity=1)
+        hits = []
+        assert res.try_acquire()
+        res.watch_contention_fn(lambda: hits.append(sim.now))
+
+        def contender():
+            yield sim.timeout(40)
+            yield res.acquire()
+            res.release()
+
+        _ = sim.process(contender())
+        sim.run()
+        # invoked at the contention instant, exactly once
+        assert hits == [40]
+        assert res._contention_fn is None
+
+    def test_free_capacity_grant_does_not_fire(self, sim):
+        res = Resource(sim, capacity=2)
+        hits = []
+        assert res.try_acquire()
+        res.watch_contention_fn(lambda: hits.append(sim.now))
+
+        def taker():
+            yield res.acquire()  # second slot is free: no contention
+            res.release()
+
+        _ = sim.process(taker())
+        sim.run()
+        assert hits == []
+
+    def test_unwatch_clears_only_own_fn(self, sim):
+        res = Resource(sim, capacity=1)
+        fn_a = lambda: None  # noqa: E731
+        fn_b = lambda: None  # noqa: E731
+        res.watch_contention_fn(fn_a)
+        res.unwatch_contention_fn(fn_b)  # not the registrant: no-op
+        assert res._contention_fn is fn_a
+        res.watch_contention_fn(fn_b)    # replacement
+        res.unwatch_contention_fn(fn_b)
+        assert res._contention_fn is None
